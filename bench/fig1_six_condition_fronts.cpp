@@ -1,0 +1,63 @@
+// Figure 1 reproduction — Pareto fronts of CO2 uptake versus total nitrogen
+// under the six environmental conditions: Ci in {165 (25M years ago),
+// 270 (present), 490 (year 2100)} x triose-P export in {1 (low), 3 (high)}.
+// One PMO2 run per condition; each front is printed as "uptake,nitrogen"
+// rows (gnuplot-ready), followed by the natural operating point that the
+// paper draws as the checked box.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "kinetics/scenarios.hpp"
+#include "moo/pmo2.hpp"
+
+namespace {
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
+}
+}  // namespace
+
+int main() {
+  using namespace rmp;
+
+  const std::size_t generations = env_or("RMP_GENERATIONS", 60);
+  const std::size_t population = env_or("RMP_POPULATION", 32);
+
+  std::printf("== Figure 1: six-condition Pareto fronts ==\n");
+  std::printf("(CO2 uptake umol m^-2 s^-1 vs nitrogen mg l^-1; %zu gens x %zu pop)\n",
+              generations, population);
+
+  for (const kinetics::Scenario& scenario : kinetics::figure1_scenarios()) {
+    auto problem = kinetics::make_problem(scenario);
+    const auto& nat = problem->model().natural_state();
+    const double natural_n =
+        problem->model().nitrogen(num::Vec(kinetics::kNumEnzymes, 1.0));
+
+    moo::Pmo2Options po;
+    po.islands = 2;
+    po.generations = generations;
+    po.migration_interval = std::max<std::size_t>(1, generations / 4);
+    po.seed = 31;
+    moo::Pmo2 pmo2(*problem, po, moo::Pmo2::default_nsga2_factory(population));
+    pmo2.run();
+    auto front = pareto::Front::from_population(pmo2.archive().solutions());
+    front.sort_by_objective(1);  // by nitrogen
+
+    std::printf("\n# condition: %s  (natural: A=%.3f, N=%.0f)\n", scenario.label.c_str(),
+                nat.co2_uptake, natural_n);
+    std::printf("# front: %zu points; uptake,nitrogen\n", front.size());
+    for (const auto& m : front.members()) {
+      const auto [a, n] = kinetics::PhotosynthesisProblem::to_paper_units(m.f);
+      std::printf("%.3f,%.0f\n", a, n);
+    }
+  }
+
+  std::printf(
+      "\npaper shape: natural box at (15.486 +- 10%%, 208330 +- 10%%); fronts rise\n"
+      "with Ci; dashed (high-export) fronts reach higher uptake than solid\n"
+      "(low-export) fronts; optimization reaches natural uptake at a fraction\n"
+      "of the natural nitrogen.\n");
+  return 0;
+}

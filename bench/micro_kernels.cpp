@@ -1,0 +1,145 @@
+// Ablation A3 — google-benchmark micro-kernels of the hot paths:
+// non-dominated sorting, hypervolume, ODE stepping, kinetic steady-state
+// solves (Newton vs integration), the LP solve, and the null-space repair.
+#include <benchmark/benchmark.h>
+
+#include "fba/fba.hpp"
+#include "fba/geobacter_problem.hpp"
+#include "kinetics/scenarios.hpp"
+#include "moo/dominance.hpp"
+#include "numeric/ode.hpp"
+#include "numeric/rng.hpp"
+#include "pareto/hypervolume.hpp"
+
+namespace {
+
+using namespace rmp;
+
+std::vector<moo::Individual> random_population(std::size_t n, std::size_t m,
+                                               std::uint64_t seed) {
+  num::Rng rng(seed);
+  std::vector<moo::Individual> pop(n);
+  for (auto& ind : pop) {
+    ind.f.resize(m);
+    for (double& v : ind.f) v = rng.uniform();
+  }
+  return pop;
+}
+
+void BM_FastNondominatedSort(benchmark::State& state) {
+  auto pop = random_population(static_cast<std::size_t>(state.range(0)), 2, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moo::fast_nondominated_sort(pop));
+  }
+}
+BENCHMARK(BM_FastNondominatedSort)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_Hypervolume2d(benchmark::State& state) {
+  num::Rng rng(7);
+  std::vector<num::Vec> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  const num::Vec ref{1.0, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::hypervolume(pts, ref));
+  }
+}
+BENCHMARK(BM_Hypervolume2d)->Arg(100)->Arg(1000);
+
+void BM_Hypervolume3dWfg(benchmark::State& state) {
+  num::Rng rng(8);
+  std::vector<num::Vec> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  const num::Vec ref{1.0, 1.0, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::hypervolume(pts, ref));
+  }
+}
+BENCHMARK(BM_Hypervolume3dWfg)->Arg(20)->Arg(60);
+
+void BM_OdeStepExplicit(benchmark::State& state) {
+  const num::OdeRhs decay = [](double, std::span<const double> y, num::Vec& d) {
+    for (std::size_t i = 0; i < y.size(); ++i) d[i] = -y[i] * (1.0 + 0.01 * i);
+  };
+  const num::Vec y0(24, 1.0);
+  num::OdeOptions o;
+  o.method = num::OdeMethod::kDormandPrince54;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::integrate(decay, 0.0, y0, 1.0, o));
+  }
+}
+BENCHMARK(BM_OdeStepExplicit);
+
+void BM_OdeStepRosenbrock(benchmark::State& state) {
+  const num::OdeRhs decay = [](double, std::span<const double> y, num::Vec& d) {
+    for (std::size_t i = 0; i < y.size(); ++i) d[i] = -y[i] * (1.0 + 100.0 * i);
+  };
+  const num::Vec y0(24, 1.0);
+  num::OdeOptions o;
+  o.method = num::OdeMethod::kRosenbrockW;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::integrate(decay, 0.0, y0, 1.0, o));
+  }
+}
+BENCHMARK(BM_OdeStepRosenbrock);
+
+void BM_SteadyStateWarm(benchmark::State& state) {
+  static const auto model = kinetics::make_model(kinetics::table1_scenario());
+  num::Rng rng(4);
+  num::Vec mult(kinetics::kNumEnzymes, 1.0);
+  for (auto _ : state) {
+    for (double& v : mult) v = 1.0 + rng.uniform(-0.05, 0.05);
+    benchmark::DoNotOptimize(model->steady_state(mult));
+  }
+}
+BENCHMARK(BM_SteadyStateWarm);
+
+void BM_SteadyStateFar(benchmark::State& state) {
+  static const auto model = kinetics::make_model(kinetics::table1_scenario());
+  num::Rng rng(5);
+  num::Vec mult(kinetics::kNumEnzymes, 1.0);
+  for (auto _ : state) {
+    for (double& v : mult) v = rng.uniform(0.3, 3.0);
+    benchmark::DoNotOptimize(model->steady_state(mult));
+  }
+}
+BENCHMARK(BM_SteadyStateFar);
+
+void BM_GeobacterLp(benchmark::State& state) {
+  static const fba::MetabolicNetwork net = fba::build_geobacter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fba::run_fba(net, fba::geobacter_ids::kElectronProduction));
+  }
+}
+BENCHMARK(BM_GeobacterLp)->Unit(benchmark::kMillisecond);
+
+void BM_NullspaceRepair(benchmark::State& state) {
+  static const auto net =
+      std::make_shared<const fba::MetabolicNetwork>(fba::build_geobacter());
+  static const fba::GeobacterProblem problem(net);
+  num::Rng rng(6);
+  const num::Vec lo = net->lower_bounds();
+  const num::Vec hi = net->upper_bounds();
+  num::Vec x(net->num_reactions());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.uniform(lo[i], std::min(hi[i], lo[i] + 10.0));
+    }
+    problem.repair(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_NullspaceRepair)->Unit(benchmark::kMicrosecond);
+
+void BM_ViolationNorm(benchmark::State& state) {
+  static const fba::MetabolicNetwork net = fba::build_geobacter();
+  num::Vec x(net.num_reactions(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.steady_state_violation(x));
+  }
+}
+BENCHMARK(BM_ViolationNorm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Table 1 reproduction — Pareto-front quality, PMO2 vs MOEA/D.
+//
+// Paper condition: C3 photosynthesis at Ci = 270 umol/mol, maximal triose-P
+// export 3 mmol/l/s.  PMO2 runs the paper's adopted configuration (two
+// NSGA-II islands, broadcast migration every 200 generations at probability
+// 0.5); MOEA/D is the comparison baseline with the same evaluation budget.
+// Reported per algorithm: number of Pareto-optimal points, relative coverage
+// Rp, global coverage Gp, and the normalized hypervolume Vp — the exact
+// columns of the paper's Table 1.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "kinetics/scenarios.hpp"
+#include "moo/moead.hpp"
+#include "moo/pmo2.hpp"
+#include "pareto/coverage.hpp"
+#include "pareto/hypervolume.hpp"
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rmp;
+
+  const std::size_t generations = env_or("RMP_GENERATIONS", 100);
+  const std::size_t population = env_or("RMP_POPULATION", 40);
+
+  std::printf("== Table 1: Pareto-Front analysis (PMO2 vs MOEA/D) ==\n");
+  std::printf("condition: Ci = 270 umol/mol, triose-P export = 3 mmol/l/s\n");
+  std::printf("budget: %zu generations, %zu individuals per island\n\n", generations,
+              population);
+
+  auto problem = kinetics::make_problem(kinetics::table1_scenario());
+
+  // --- PMO2: the paper's adopted configuration ------------------------------
+  moo::Pmo2Options po;
+  po.islands = 2;
+  po.generations = generations;
+  po.migration_interval = std::min<std::size_t>(200, std::max<std::size_t>(1, generations / 4));
+  po.migration_probability = 0.5;
+  po.topology = moo::TopologyKind::kAllToAll;
+  po.seed = 7;
+  moo::Pmo2 pmo2(*problem, po, moo::Pmo2::default_nsga2_factory(population));
+  pmo2.run();
+  const auto pmo2_front = pareto::Front::from_population(pmo2.archive().solutions());
+  std::printf("PMO2 finished: %zu evaluations, archive %zu\n", pmo2.evaluations(),
+              pmo2.archive().size());
+
+  // --- MOEA/D baseline with a matched budget ---------------------------------
+  moo::MoeadOptions mo;
+  mo.population_size = 2 * population;  // same total population
+  mo.seed = 7;
+  moo::Moead moead(*problem, mo);
+  moo::Archive moead_archive;
+  moead.initialize();
+  moead_archive.offer_all(moead.population());
+  for (std::size_t g = 0; g < generations; ++g) {
+    moead.step();
+    moead_archive.offer_all(moead.population());
+  }
+  const auto moead_front = pareto::Front::from_population(moead_archive.solutions());
+  std::printf("MOEA/D finished: %zu evaluations, archive %zu\n\n", moead.evaluations(),
+              moead_archive.size());
+
+  // --- metrics over the union front ------------------------------------------
+  const std::vector<pareto::Front> fronts{pmo2_front, moead_front};
+  const auto cov = pareto::coverage_against_union(fronts);
+  const pareto::Front global = pareto::Front::global_union(fronts);
+  const num::Vec ideal = global.relative_minimum();
+  const num::Vec nadir = global.relative_maximum();
+
+  core::TextTable table({"Algorithm", "Points", "Rp", "Gp", "Vp"});
+  table.add_row({"PMO2", std::to_string(pmo2_front.size()),
+                 core::TextTable::fixed(cov[0].relative, 3),
+                 core::TextTable::fixed(cov[0].global, 3),
+                 core::TextTable::fixed(
+                     pareto::normalized_hypervolume(pmo2_front, ideal, nadir), 3)});
+  table.add_row({"MOEA-D", std::to_string(moead_front.size()),
+                 core::TextTable::fixed(cov[1].relative, 3),
+                 core::TextTable::fixed(cov[1].global, 3),
+                 core::TextTable::fixed(
+                     pareto::normalized_hypervolume(moead_front, ideal, nadir), 3)});
+  table.print(std::cout);
+
+  std::printf(
+      "\npaper reports: PMO2 775 points, Rp 1.0, Gp 1.0, Vp 0.976;"
+      "\n               MOEA-D 137 points, Rp 0,  Gp 0,  Vp 0.376\n");
+  return 0;
+}

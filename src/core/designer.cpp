@@ -1,0 +1,69 @@
+#include "core/designer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmp::core {
+
+DesignReport RobustDesigner::design(const moo::Problem& problem,
+                                    const robustness::PropertyFn& property) const {
+  DesignReport report;
+
+  // 1. Pareto-front approximation with the PMO2 archipelago.
+  moo::Pmo2 pmo2(problem, config_.optimizer);
+  pmo2.run();
+  report.evaluations = pmo2.evaluations();
+  report.front = pareto::Front::from_population(pmo2.archive().solutions());
+  if (report.front.empty()) return report;
+
+  const bool robust = config_.run_robustness && property != nullptr;
+
+  auto mine = [&](std::string selection, std::size_t idx) {
+    MinedCandidate c;
+    c.selection = std::move(selection);
+    c.front_index = idx;
+    c.x = report.front[idx].x;
+    c.objectives = report.front[idx].f;
+    if (robust) {
+      c.yield = robustness::global_yield(c.x, property, config_.surface.yield);
+    }
+    report.mined.push_back(std::move(c));
+  };
+
+  // 2. Mining: closest-to-ideal and the shadow minimum of each objective.
+  mine("closest-to-ideal", pareto::closest_to_ideal(report.front, config_.mining_metric));
+  const auto shadows = pareto::shadow_minima(report.front);
+  for (std::size_t j = 0; j < shadows.size(); ++j) {
+    mine("shadow-min f" + std::to_string(j), shadows[j]);
+  }
+
+  // 3. Robustness screening along the front.
+  if (robust) {
+    report.surface = robustness::robustness_surface(report.front, property,
+                                                    config_.surface);
+    // 4. Max-yield candidate among the screened points.
+    if (!report.surface.empty()) {
+      const auto best = std::max_element(
+          report.surface.begin(), report.surface.end(),
+          [](const auto& a, const auto& b) { return a.gamma < b.gamma; });
+      MinedCandidate c;
+      c.selection = "max-yield";
+      c.front_index = best->front_index;
+      c.x = report.front[best->front_index].x;
+      c.objectives = report.front[best->front_index].f;
+      robustness::YieldResult y;
+      y.gamma = best->gamma;
+      y.nominal_value = property(c.x);
+      y.total_trials = config_.surface.yield.perturbation.global_trials;
+      y.robust_trials = static_cast<std::size_t>(
+          best->gamma * static_cast<double>(y.total_trials) + 0.5);
+      y.absolute_threshold =
+          config_.surface.yield.epsilon_fraction * std::fabs(y.nominal_value);
+      c.yield = y;
+      report.mined.push_back(std::move(c));
+    }
+  }
+  return report;
+}
+
+}  // namespace rmp::core

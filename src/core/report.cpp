@@ -1,0 +1,81 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace rmp::core {
+
+void write_front_csv(const pareto::Front& front, std::ostream& os,
+                     std::span<const bool> negate) {
+  pareto::Front sorted = front;
+  sorted.sort_by_objective(0);
+  for (const auto& m : sorted.members()) {
+    for (std::size_t j = 0; j < m.f.size(); ++j) {
+      const double v = (j < negate.size() && negate[j]) ? -m.f[j] : m.f[j];
+      os << (j == 0 ? "" : ",") << TextTable::num(v);
+    }
+    os << "\n";
+  }
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) os << '-';
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string TextTable::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void print_report_summary(const DesignReport& report, std::ostream& os) {
+  os << "front size: " << report.front.size()
+     << ", evaluations: " << report.evaluations << "\n";
+  for (const auto& c : report.mined) {
+    os << "  [" << c.selection << "] f = (";
+    for (std::size_t j = 0; j < c.objectives.size(); ++j) {
+      os << (j == 0 ? "" : ", ") << TextTable::num(c.objectives[j]);
+    }
+    os << ")";
+    if (c.yield) {
+      os << "  yield = " << TextTable::fixed(100.0 * c.yield->gamma, 1) << "%";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace rmp::core

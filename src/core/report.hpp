@@ -1,0 +1,42 @@
+// Text/CSV emitters used by the examples and the table/figure benches: plain
+// streams, gnuplot-ready columns, fixed-width tables.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/designer.hpp"
+#include "pareto/front.hpp"
+
+namespace rmp::core {
+
+/// Writes "f0,f1,...,fm" rows for every front member, sorted by f0.
+/// `negate` flips the sign of selected objectives for maximize-style display
+/// (e.g. CO2 uptake stored as -A).
+void write_front_csv(const pareto::Front& front, std::ostream& os,
+                     std::span<const bool> negate = {});
+
+/// Fixed-width table with a header row; column widths adapt to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Formats a double compactly (%.6g-style).
+  [[nodiscard]] static std::string num(double v);
+  /// Fixed-decimals formatting.
+  [[nodiscard]] static std::string fixed(double v, int decimals);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One-line summary of a design report (front size, evaluations, mined picks).
+void print_report_summary(const DesignReport& report, std::ostream& os);
+
+}  // namespace rmp::core

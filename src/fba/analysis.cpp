@@ -1,0 +1,110 @@
+#include "fba/analysis.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rmp::fba {
+
+FbaResult run_pfba(const MetabolicNetwork& network,
+                   const std::string& objective_reaction_id,
+                   double optimum_fraction) {
+  FbaResult base = run_fba(network, objective_reaction_id);
+  if (!base.optimal()) return base;
+
+  const num::SparseMatrix s = network.stoichiometric_matrix();
+  const std::size_t m = s.rows();
+  const std::size_t n = s.cols();
+  const num::Vec lo = network.lower_bounds();
+  const num::Vec hi = network.upper_bounds();
+  const std::size_t obj = network.reaction_index(objective_reaction_id).value();
+
+  // Split v = p - q with p, q >= 0; minimize sum(p + q) == sum |v|.
+  // Columns: [p_0..p_{n-1}, q_0..q_{n-1}].
+  num::LpProblem lp;
+  lp.constraint_matrix = num::Matrix(m, 2 * n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t k = s.row_offsets()[r]; k < s.row_offsets()[r + 1]; ++k) {
+      const std::size_t c = s.col_indices()[k];
+      lp.constraint_matrix(r, c) = s.values()[k];
+      lp.constraint_matrix(r, n + c) = -s.values()[k];
+    }
+  }
+  lp.rhs.assign(m, 0.0);
+  lp.objective.assign(2 * n, -1.0);  // maximize -(p + q)
+  lp.lower.assign(2 * n, 0.0);
+  lp.upper.assign(2 * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    lp.upper[j] = std::max(hi[j], 0.0);        // p_j in [0, max(hi, 0)]
+    lp.upper[n + j] = std::max(-lo[j], 0.0);   // q_j in [0, max(-lo, 0)]
+    // Fluxes with strictly positive lower bounds (e.g. ATP maintenance) keep
+    // their floor on the forward part.
+    lp.lower[j] = std::max(lo[j], 0.0);
+    lp.lower[n + j] = std::max(-hi[j], 0.0);
+  }
+  // Pin the objective flux at (a fraction of) its optimum.
+  lp.lower[obj] = std::max(lp.lower[obj], optimum_fraction * base.objective_value);
+
+  const num::LpSolution sol = num::solve_lp(lp);
+  FbaResult out;
+  out.status = sol.status;
+  if (sol.status != num::LpStatus::kOptimal) return out;
+
+  out.fluxes.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) out.fluxes[j] = sol.x[j] - sol.x[n + j];
+  out.objective_value = out.fluxes[obj];
+  return out;
+}
+
+std::vector<KnockoutEntry> knockout_scan(const MetabolicNetwork& network,
+                                         const std::string& objective_reaction_id,
+                                         const std::vector<std::string>& reactions,
+                                         double essential_threshold) {
+  std::vector<KnockoutEntry> out;
+  const FbaResult wild = run_fba(network, objective_reaction_id);
+  if (!wild.optimal() || wild.objective_value <= 0.0) return out;
+
+  std::vector<std::size_t> targets;
+  if (reactions.empty()) {
+    for (std::size_t i = 0; i < network.num_reactions(); ++i) targets.push_back(i);
+  } else {
+    for (const std::string& id : reactions) {
+      const auto idx = network.reaction_index(id);
+      assert(idx.has_value());
+      targets.push_back(*idx);
+    }
+  }
+
+  const num::SparseMatrix s = network.stoichiometric_matrix();
+  num::LpProblem lp = num::LpProblem::from_sparse(
+      s, num::Vec(s.rows(), 0.0), num::Vec(network.num_reactions(), 0.0),
+      network.lower_bounds(), network.upper_bounds());
+  const std::size_t obj = network.reaction_index(objective_reaction_id).value();
+  lp.objective[obj] = 1.0;
+
+  for (std::size_t t : targets) {
+    const Reaction& rxn = network.reaction(t);
+    if (t == obj) continue;
+    // A reaction pinned to a non-zero flux cannot be "knocked out" without
+    // making the model infeasible by construction; skip it.
+    if (rxn.lower_bound == rxn.upper_bound && rxn.lower_bound != 0.0) continue;
+
+    const double saved_lo = lp.lower[t];
+    const double saved_hi = lp.upper[t];
+    lp.lower[t] = 0.0;
+    lp.upper[t] = 0.0;
+    const num::LpSolution sol = num::solve_lp(lp);
+    lp.lower[t] = saved_lo;
+    lp.upper[t] = saved_hi;
+
+    KnockoutEntry e;
+    e.reaction_id = rxn.id;
+    e.objective_value =
+        sol.status == num::LpStatus::kOptimal ? sol.objective_value : 0.0;
+    e.retained_fraction = e.objective_value / wild.objective_value;
+    e.essential = e.retained_fraction < essential_threshold;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace rmp::fba

@@ -1,0 +1,38 @@
+// Higher-level constraint-based analyses on top of FBA:
+//   * parsimonious FBA (pFBA): among all optimal flux distributions, the one
+//     with minimal total flux — removes futile cycles from reported optima;
+//   * single-reaction knockout scan: the OptKnock-style question the paper
+//     cites (Burgard et al. 2003) in its simplest form — how much of the
+//     objective survives deleting each reaction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fba/fba.hpp"
+
+namespace rmp::fba {
+
+/// Parsimonious FBA: fixes the FBA optimum of `objective_reaction_id` (up to
+/// `optimum_fraction`) and minimizes the sum of absolute fluxes.  Internally
+/// splits every flux into forward/backward non-negative parts.
+[[nodiscard]] FbaResult run_pfba(const MetabolicNetwork& network,
+                                 const std::string& objective_reaction_id,
+                                 double optimum_fraction = 1.0 - 1e-9);
+
+struct KnockoutEntry {
+  std::string reaction_id;
+  double objective_value = 0.0;  ///< FBA optimum with this reaction deleted
+  double retained_fraction = 0.0;  ///< relative to the wild-type optimum
+  bool essential = false;          ///< retained_fraction below the threshold
+};
+
+/// Deletes each listed reaction (all non-exchange reactions when empty) in
+/// turn and reports the surviving optimum of `objective_reaction_id`.
+/// Reactions with a fixed non-zero flux (e.g. ATP maintenance) are skipped.
+[[nodiscard]] std::vector<KnockoutEntry> knockout_scan(
+    const MetabolicNetwork& network, const std::string& objective_reaction_id,
+    const std::vector<std::string>& reactions = {},
+    double essential_threshold = 0.05);
+
+}  // namespace rmp::fba

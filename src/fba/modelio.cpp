@@ -1,0 +1,118 @@
+#include "fba/modelio.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace rmp::fba {
+
+void write_network(const MetabolicNetwork& network, std::ostream& os) {
+  os << "# rmp metabolic network: " << network.num_metabolites() << " metabolites, "
+     << network.num_reactions() << " reactions\n";
+  for (std::size_t m = 0; m < network.num_metabolites(); ++m) {
+    const Metabolite& met = network.metabolite(m);
+    os << "metabolite " << met.id;
+    if (met.external) os << " external";
+    os << "\n";
+  }
+  for (const Reaction& r : network.reactions()) {
+    os << "reaction " << r.id << " " << r.lower_bound << " " << r.upper_bound << " :";
+    for (const Stoich& s : r.stoichiometry) {
+      os << " " << s.coefficient << " " << network.metabolite(s.metabolite).id;
+    }
+    os << "\n";
+  }
+}
+
+std::string network_to_string(const MetabolicNetwork& network) {
+  std::ostringstream oss;
+  write_network(network, oss);
+  return oss.str();
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+bool parse_line(MetabolicNetwork& net, const std::string& line, std::size_t line_no,
+                std::string* error) {
+  std::istringstream iss(line);
+  std::string kind;
+  iss >> kind;
+  if (kind.empty() || kind[0] == '#') return true;
+
+  const std::string where = "line " + std::to_string(line_no) + ": ";
+  if (kind == "metabolite") {
+    std::string id, flag;
+    iss >> id;
+    if (id.empty()) return fail(error, where + "metabolite without id");
+    iss >> flag;
+    net.add_metabolite(id, id, flag == "external");
+    return true;
+  }
+  if (kind == "reaction") {
+    Reaction r;
+    std::string colon;
+    iss >> r.id >> r.lower_bound >> r.upper_bound >> colon;
+    if (r.id.empty() || colon != ":") {
+      return fail(error, where + "malformed reaction header");
+    }
+    r.name = r.id;
+    double coeff = 0.0;
+    std::string met_id;
+    while (iss >> coeff >> met_id) {
+      const auto idx = net.metabolite_index(met_id);
+      if (!idx) return fail(error, where + "unknown metabolite '" + met_id + "'");
+      r.stoichiometry.push_back({*idx, coeff});
+    }
+    if (r.stoichiometry.empty()) {
+      return fail(error, where + "reaction without stoichiometry");
+    }
+    if (net.reaction_index(r.id)) {
+      return fail(error, where + "duplicate reaction '" + r.id + "'");
+    }
+    net.add_reaction(std::move(r));
+    return true;
+  }
+  return fail(error, where + "unknown record '" + kind + "'");
+}
+
+}  // namespace
+
+std::optional<MetabolicNetwork> read_network(std::istream& is, std::string* error) {
+  MetabolicNetwork net;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!parse_line(net, line, line_no, error)) return std::nullopt;
+  }
+  return net;
+}
+
+std::optional<MetabolicNetwork> network_from_string(const std::string& text,
+                                                    std::string* error) {
+  std::istringstream iss(text);
+  return read_network(iss, error);
+}
+
+bool save_network(const MetabolicNetwork& network, const std::string& path) {
+  std::ofstream ofs(path);
+  if (!ofs) return false;
+  write_network(network, ofs);
+  return static_cast<bool>(ofs);
+}
+
+std::optional<MetabolicNetwork> load_network(const std::string& path,
+                                             std::string* error) {
+  std::ifstream ifs(path);
+  if (!ifs) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return read_network(ifs, error);
+}
+
+}  // namespace rmp::fba

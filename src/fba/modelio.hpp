@@ -1,0 +1,37 @@
+// Plain-text serialization of metabolic networks (an SBML stand-in that needs
+// no XML dependency).  Grammar, one record per line, '#' comments:
+//
+//   metabolite <id> [external]
+//   reaction <id> <lower> <upper> : <coeff> <met_id> [<coeff> <met_id> ...]
+//
+// Example:
+//   metabolite ac_ext external
+//   metabolite ac
+//   reaction EX_ac 0 26.1 : -1 ac_ext 1 ac
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "fba/network.hpp"
+
+namespace rmp::fba {
+
+/// Serializes the network to the text format.
+void write_network(const MetabolicNetwork& network, std::ostream& os);
+[[nodiscard]] std::string network_to_string(const MetabolicNetwork& network);
+
+/// Parses a network; returns std::nullopt (and fills *error when given) on
+/// malformed input.
+[[nodiscard]] std::optional<MetabolicNetwork> read_network(std::istream& is,
+                                                           std::string* error = nullptr);
+[[nodiscard]] std::optional<MetabolicNetwork> network_from_string(
+    const std::string& text, std::string* error = nullptr);
+
+/// File convenience wrappers.
+[[nodiscard]] bool save_network(const MetabolicNetwork& network, const std::string& path);
+[[nodiscard]] std::optional<MetabolicNetwork> load_network(const std::string& path,
+                                                           std::string* error = nullptr);
+
+}  // namespace rmp::fba

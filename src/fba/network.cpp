@@ -1,0 +1,109 @@
+#include "fba/network.hpp"
+
+#include <cassert>
+
+namespace rmp::fba {
+
+std::size_t MetabolicNetwork::add_metabolite(std::string id, std::string name,
+                                             bool external) {
+  if (auto it = metabolite_by_id_.find(id); it != metabolite_by_id_.end()) {
+    return it->second;
+  }
+  const std::size_t idx = metabolites_.size();
+  metabolite_by_id_.emplace(id, idx);
+  metabolites_.push_back({std::move(id), std::move(name), external});
+  invalidate_cache();
+  return idx;
+}
+
+std::size_t MetabolicNetwork::add_reaction(Reaction r) {
+  assert(!reaction_by_id_.contains(r.id));
+  for (const Stoich& s : r.stoichiometry) {
+    assert(s.metabolite < metabolites_.size());
+    (void)s;
+  }
+  const std::size_t idx = reactions_.size();
+  reaction_by_id_.emplace(r.id, idx);
+  reactions_.push_back(std::move(r));
+  invalidate_cache();
+  return idx;
+}
+
+std::size_t MetabolicNetwork::num_internal_metabolites() const {
+  std::size_t n = 0;
+  for (const Metabolite& m : metabolites_) {
+    if (!m.external) ++n;
+  }
+  return n;
+}
+
+std::optional<std::size_t> MetabolicNetwork::metabolite_index(
+    const std::string& id) const {
+  if (auto it = metabolite_by_id_.find(id); it != metabolite_by_id_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> MetabolicNetwork::reaction_index(const std::string& id) const {
+  if (auto it = reaction_by_id_.find(id); it != reaction_by_id_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+num::SparseMatrix MetabolicNetwork::stoichiometric_matrix() const {
+  if (cached_s_) return *cached_s_;
+
+  internal_row_of_metabolite_.assign(metabolites_.size(), SIZE_MAX);
+  std::size_t row = 0;
+  for (std::size_t m = 0; m < metabolites_.size(); ++m) {
+    if (!metabolites_[m].external) internal_row_of_metabolite_[m] = row++;
+  }
+
+  num::SparseMatrix::Builder builder(row, reactions_.size());
+  for (std::size_t r = 0; r < reactions_.size(); ++r) {
+    for (const Stoich& s : reactions_[r].stoichiometry) {
+      const std::size_t mrow = internal_row_of_metabolite_[s.metabolite];
+      if (mrow != SIZE_MAX) builder.add(mrow, r, s.coefficient);
+    }
+  }
+  cached_s_ = builder.build();
+  return *cached_s_;
+}
+
+num::Vec MetabolicNetwork::lower_bounds() const {
+  num::Vec lo(reactions_.size());
+  for (std::size_t i = 0; i < reactions_.size(); ++i) lo[i] = reactions_[i].lower_bound;
+  return lo;
+}
+
+num::Vec MetabolicNetwork::upper_bounds() const {
+  num::Vec hi(reactions_.size());
+  for (std::size_t i = 0; i < reactions_.size(); ++i) hi[i] = reactions_[i].upper_bound;
+  return hi;
+}
+
+double MetabolicNetwork::steady_state_violation(std::span<const double> fluxes) const {
+  return stoichiometric_matrix().residual_norm1(fluxes);
+}
+
+std::vector<std::string> MetabolicNetwork::orphan_metabolites() const {
+  std::vector<bool> produced(metabolites_.size(), false);
+  std::vector<bool> consumed(metabolites_.size(), false);
+  for (const Reaction& r : reactions_) {
+    for (const Stoich& s : r.stoichiometry) {
+      // A reversible reaction can both produce and consume.
+      if (s.coefficient > 0.0 || r.reversible()) produced[s.metabolite] = true;
+      if (s.coefficient < 0.0 || r.reversible()) consumed[s.metabolite] = true;
+    }
+  }
+  std::vector<std::string> orphans;
+  for (std::size_t m = 0; m < metabolites_.size(); ++m) {
+    if (metabolites_[m].external) continue;
+    if (!produced[m] || !consumed[m]) orphans.push_back(metabolites_[m].id);
+  }
+  return orphans;
+}
+
+}  // namespace rmp::fba

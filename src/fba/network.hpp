@@ -1,0 +1,89 @@
+// Constraint-based metabolic network representation (the COBRA-style
+// substrate of the Geobacter experiment): metabolites, reactions with
+// stoichiometry and flux bounds, and the stoichiometric matrix S.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "numeric/sparse.hpp"
+#include "numeric/vec.hpp"
+
+namespace rmp::fba {
+
+struct Metabolite {
+  std::string id;    ///< short unique id, e.g. "accoa"
+  std::string name;  ///< human-readable name
+  bool external = false;  ///< boundary species (not balanced at steady state)
+};
+
+struct Stoich {
+  std::size_t metabolite;  ///< index into the network's metabolite list
+  double coefficient;      ///< negative = consumed, positive = produced
+};
+
+struct Reaction {
+  std::string id;
+  std::string name;
+  std::vector<Stoich> stoichiometry;
+  double lower_bound = 0.0;
+  double upper_bound = 1000.0;
+
+  [[nodiscard]] bool reversible() const { return lower_bound < 0.0; }
+};
+
+class MetabolicNetwork {
+ public:
+  /// Adds a metabolite; returns its index.  Duplicate ids are rejected
+  /// (returns the existing index).
+  std::size_t add_metabolite(std::string id, std::string name = "",
+                             bool external = false);
+
+  /// Adds a reaction; stoichiometry references existing metabolite indices.
+  std::size_t add_reaction(Reaction r);
+
+  [[nodiscard]] std::size_t num_metabolites() const { return metabolites_.size(); }
+  [[nodiscard]] std::size_t num_reactions() const { return reactions_.size(); }
+  /// Count of internal (balanced) metabolites — the rows of S.
+  [[nodiscard]] std::size_t num_internal_metabolites() const;
+
+  [[nodiscard]] const Metabolite& metabolite(std::size_t i) const {
+    return metabolites_[i];
+  }
+  [[nodiscard]] const Reaction& reaction(std::size_t i) const { return reactions_[i]; }
+  [[nodiscard]] std::span<const Reaction> reactions() const { return reactions_; }
+
+  [[nodiscard]] std::optional<std::size_t> metabolite_index(const std::string& id) const;
+  [[nodiscard]] std::optional<std::size_t> reaction_index(const std::string& id) const;
+
+  /// Stoichiometric matrix over *internal* metabolites only
+  /// (rows = internal metabolites in declaration order, cols = reactions).
+  [[nodiscard]] num::SparseMatrix stoichiometric_matrix() const;
+
+  /// Per-reaction bounds as vectors (for the LP / the optimizer's box).
+  [[nodiscard]] num::Vec lower_bounds() const;
+  [[nodiscard]] num::Vec upper_bounds() const;
+
+  /// Steady-state violation ||S v||_1 of a flux vector.
+  [[nodiscard]] double steady_state_violation(std::span<const double> fluxes) const;
+
+  /// Carbon-balance style sanity check: every internal metabolite appears in
+  /// at least one producing and one consuming reaction.  Returns ids of
+  /// violators (useful when generating synthetic networks).
+  [[nodiscard]] std::vector<std::string> orphan_metabolites() const;
+
+ private:
+  void invalidate_cache() { cached_s_.reset(); }
+
+  std::vector<Metabolite> metabolites_;
+  std::vector<Reaction> reactions_;
+  std::unordered_map<std::string, std::size_t> metabolite_by_id_;
+  std::unordered_map<std::string, std::size_t> reaction_by_id_;
+  mutable std::optional<num::SparseMatrix> cached_s_;
+  mutable std::vector<std::size_t> internal_row_of_metabolite_;
+};
+
+}  // namespace rmp::fba

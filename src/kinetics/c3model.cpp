@@ -1,0 +1,521 @@
+#include "kinetics/c3model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "numeric/newton.hpp"
+
+namespace rmp::kinetics {
+
+namespace {
+
+/// Simple saturating term x / (x + k).
+double mm(double x, double k) { return x / (x + k); }
+
+}  // namespace
+
+C3Model::C3Model(C3Config config) : config_(config) {
+  // Solve the wild-type steady state once.  A cold start can transiently
+  // drain the autocatalytic cycle in the harsher conditions (low Ci, high
+  // export pull), so the solve walks a continuation ladder: first the benign
+  // present-day/low-export condition from the textbook initial state, then
+  // Ci and the export capacity are moved to their targets one at a time,
+  // each rung starting from the previous attractor.
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const C3Config target = config_;
+  thorough_fallback_ = true;  // the one-off natural solve can afford long legs
+
+  // Direct solve at the target condition first.
+  natural_ = solve_from(default_initial_state(), ones, /*allow_fallback=*/true);
+  if (natural_.converged && natural_.co2_uptake > 0.1) {
+    build_anchors();
+    thorough_fallback_ = false;
+    return;
+  }
+
+  config_.ci_ppm = 270.0;
+  config_.triose_export_vmax = 1.0;
+  natural_ = solve_from(default_initial_state(), ones, /*allow_fallback=*/true);
+
+  // Adaptive continuation of one scenario knob: try the full remaining jump
+  // with a Newton-only solve, halving the step whenever the new rung's
+  // attractor is out of reach.
+  const auto continue_knob = [&](double C3Config::* knob, double target_value) {
+    double current = config_.*knob;
+    double step = target_value - current;
+    while (natural_.converged && current != target_value && std::fabs(step) > 1e-3) {
+      config_.*knob = current + step;
+      const SteadyState next =
+          solve_from(natural_.state, ones, /*allow_fallback=*/false);
+      if (next.converged && next.co2_uptake > 0.05) {
+        natural_ = next;
+        current += step;
+        step = target_value - current;
+      } else {
+        step *= 0.5;
+      }
+    }
+    config_.*knob = target_value;
+    if (natural_.converged && current != target_value) {
+      // Final (possibly tiny) jump with the fallback enabled.
+      natural_ = solve_from(natural_.state, ones, /*allow_fallback=*/true);
+    }
+  };
+
+  continue_knob(&C3Config::ci_ppm, target.ci_ppm);
+  continue_knob(&C3Config::triose_export_vmax, target.triose_export_vmax);
+  config_ = target;
+  build_anchors();
+  thorough_fallback_ = false;
+}
+
+void C3Model::build_anchors() {
+  anchors_.clear();
+  if (!natural_.converged) return;
+  anchors_.push_back(natural_.state);
+  // Representative partitions spanning the search box; their steady states
+  // give Newton a nearby start for down- and up-regulated candidates.
+  for (const double level : {0.4, 2.5}) {
+    const num::Vec mult(kNumEnzymes, level);
+    const SteadyState ss = solve_from(natural_.state, mult, /*allow_fallback=*/true);
+    if (ss.converged) anchors_.push_back(ss.state);
+  }
+}
+
+num::Vec C3Model::default_initial_state() {
+  num::Vec y(kNumMetabolites, 0.0);
+  y[kRuBP] = 3.0;
+  y[kPga] = 2.0;
+  y[kDpga] = 0.05;
+  y[kT3p] = 1.0;
+  y[kFbp] = 0.10;
+  y[kE4p] = 0.10;
+  y[kSbp] = 0.15;
+  y[kS7p] = 0.30;
+  y[kPeP] = 0.50;
+  y[kHeP] = 2.0;
+  y[kPgca] = 0.03;
+  y[kGca] = 0.20;
+  y[kGoa] = 0.05;
+  y[kGly] = 1.0;
+  y[kSer] = 0.5;
+  y[kHpr] = 0.01;
+  y[kGcea] = 0.10;
+  y[kAtp] = 1.0;
+  y[kT3pc] = 0.30;
+  y[kFbpc] = 0.05;
+  y[kHePc] = 1.0;
+  y[kUdpg] = 0.20;
+  y[kSucp] = 0.02;
+  y[kF26bp] = 0.003;
+  return y;
+}
+
+C3Rates C3Model::rates(std::span<const double> y, std::span<const double> mult) const {
+  assert(y.size() == kNumMetabolites);
+  assert(mult.size() == kNumEnzymes);
+  const C3Config& c = config_;
+  const auto enz = enzyme_table();
+  auto vmax = [&](std::size_t e) { return mult[e] * enz[e].natural_vmax; };
+
+  C3Rates r;
+
+  // Free stromal phosphate from the conserved pool: total minus esterified.
+  const double esterified = 2.0 * y[kRuBP] + y[kPga] + 2.0 * y[kDpga] + y[kT3p] +
+                            2.0 * y[kFbp] + y[kE4p] + 2.0 * y[kSbp] + y[kS7p] +
+                            y[kPeP] + y[kHeP] + y[kPgca] + y[kAtp];
+  r.free_pi = std::max(c.stromal_phosphate_total - esterified, c.min_free_pi);
+
+  const double adp = std::max(c.adenylate_total - y[kAtp], 0.0);
+
+  // --- Rubisco: carboxylation and oxygenation compete for RuBP ------------
+  const double f_rubp = mm(y[kRuBP], c.km_rubp);
+  const double f_co2 = c.ci_ppm / (c.ci_ppm + c.kc_ppm * (1.0 + c.o2_ppm / c.ko_ppm));
+  const double f_o2 = c.o2_ppm / (c.o2_ppm + c.ko_ppm * (1.0 + c.ci_ppm / c.kc_ppm));
+  r.vc = vmax(kRubisco) * f_co2 * f_rubp;
+  r.vo = vmax(kRubisco) * c.vo_vc_capacity_ratio * f_o2 * f_rubp;
+
+  // --- PGA reduction: reversible, near-equilibrium ---------------------------
+  // v = V (S1 S2 - P1 P2 / Keq) / ((S1 + K1)(S2 + K2)); the displacement
+  // term vanishes at equilibrium so these large-capacity enzymes buffer the
+  // sector instead of pumping it dry.
+  r.v_pgak = vmax(kPgaKinase) *
+             (y[kPga] * y[kAtp] - y[kDpga] * adp / c.keq_pgak) /
+             ((y[kPga] + c.km_pga_pgak) * (y[kAtp] + c.km_atp_pgak));
+  // NADPH saturating (light-saturated conditions); Pi appears as product.
+  r.v_gapdh = vmax(kGapDh) *
+              (y[kDpga] - y[kT3p] * r.free_pi / c.keq_gapdh) /
+              (y[kDpga] + c.km_dpga_gapdh);
+
+  // --- Calvin cycle regeneration -------------------------------------------
+  // Rate laws act on the equilibrium pools directly; the GAP/DHAP (and
+  // F6P/G6P/G1P, Ru5P/Xu5P/Ri5P) splits are folded into effective Kms.
+  const double f6p = c.frac_f6p_hep * y[kHeP];
+  const double g1p = c.frac_g1p_hep * y[kHeP];
+  const double ru5p = c.frac_ru5p_pep * y[kPeP];
+
+  // FBP aldolase: condensation with product inhibition by FBP.
+  r.v_fbpald = vmax(kFbpAldolase) * mm(y[kT3p], c.km_t3p_ald) *
+               mm(y[kT3p], c.km_t3p_ald) / (1.0 + y[kFbp] / c.km_fbp_ald_rev);
+  r.v_fbpase = vmax(kFbpase) * mm(y[kFbp], c.km_fbp_fbpase);
+  r.v_tk1 = vmax(kTransketolase) * mm(f6p, c.km_f6p_tk) * mm(y[kT3p], c.km_t3p_tk);
+  r.v_tk2 =
+      vmax(kTransketolase) * mm(y[kS7p], c.km_s7p_tk) * mm(y[kT3p], c.km_t3p_tk);
+  r.v_sbpald =
+      vmax(kSbpAldolase) * mm(y[kE4p], c.km_e4p_sald) * mm(y[kT3p], c.km_t3p_sald);
+  r.v_sbpase = vmax(kSbpase) * mm(y[kSbp], c.km_sbp_sbpase);
+  // PRK with competitive PGA inhibition.
+  r.v_prk = vmax(kPrk) * ru5p /
+            (ru5p + c.km_ru5p_prk * (1.0 + y[kPga] / c.ki_pga_prk)) *
+            mm(y[kAtp], c.km_atp_prk);
+
+  // --- starch synthesis: allosterically controlled by the PGA/Pi ratio -------
+  // (the physiological overflow valve: carbon goes to starch when phosphate
+  // is being sequestered in PGA).
+  const double pga_pi_ratio = y[kPga] / std::max(r.free_pi, c.min_free_pi);
+  const double ratio_sq = pga_pi_ratio * pga_pi_ratio;
+  const double starch_act =
+      ratio_sq / (ratio_sq + c.ka_pga_adpgpp * c.ka_pga_adpgpp);
+  r.v_starch = vmax(kAdpgpp) * mm(g1p, c.km_g1p_adpgpp) * mm(y[kAtp], 0.3) *
+               starch_act;
+
+  // --- photorespiration -------------------------------------------------------
+  r.v_pgcapase = vmax(kPgcaPase) * mm(y[kPgca], c.km_pgca);
+  r.v_goaox = vmax(kGoaOxidase) * mm(y[kGca], c.km_gca);
+  r.v_ggat = vmax(kGgat) * mm(y[kGoa], c.km_goa_ggat);
+  r.v_gsat =
+      vmax(kGsat) * mm(y[kGoa], c.km_goa_gsat) * mm(y[kSer], c.km_ser_gsat);
+  r.v_gdc = vmax(kGdc) * mm(y[kGly], c.km_gly_gdc);
+  r.v_hpr = vmax(kHprReductase) * mm(y[kHpr], c.km_hpr);
+  r.v_gceak =
+      vmax(kGceaKinase) * mm(y[kGcea], c.km_gcea) * mm(y[kAtp], c.km_atp_gceak);
+
+  // --- export through the Pi translocator ------------------------------------
+  // T3P and PGA compete for the same carrier capacity; the antiport runs on
+  // free cytosolic Pi, so a congested cytosol (sucrose path saturated)
+  // throttles export — the sink-limitation feedback.
+  const double esterified_cyt = y[kT3pc] + 2.0 * y[kFbpc] + y[kHePc] +
+                                2.0 * y[kUdpg] + y[kSucp] + 2.0 * y[kF26bp];
+  r.free_pi_cyt =
+      std::max(c.cytosolic_phosphate_total - esterified_cyt, c.min_free_pi);
+  // Both carrier legs are cooperative (Hill-2): export vanishes quadratically
+  // when the stromal pools are lean (the cycle keeps its carbon — no
+  // collapse) and engages strongly when they are replete (no phosphate
+  // swamp).  The antiport itself needs free cytosolic Pi (Hill-2 as well),
+  // which is how a congested cytosol throttles export.
+  const double t3p_leg = (y[kT3p] / c.km_t3p_export) * (y[kT3p] / c.km_t3p_export);
+  const double pga_leg =
+      (y[kPga] / c.km_pga_export) * (y[kPga] / c.km_pga_export);
+  const double carrier_load = 1.0 + t3p_leg + pga_leg;
+  const double pi_term = mm(r.free_pi_cyt, c.km_pi_cyt_export);
+  const double antiport =
+      c.triose_export_vmax * pi_term * pi_term / carrier_load;
+  r.v_export = antiport * t3p_leg;
+  r.v_export_pga = antiport * pga_leg;
+
+  // --- cytosolic sucrose synthesis -------------------------------------------
+  const double f6pc = c.frac_f6p_hep * y[kHePc];
+  const double g1pc = c.frac_g1p_hep * y[kHePc];
+  r.v_cfbpald =
+      vmax(kCytFbpAldolase) * mm(y[kT3pc], c.km_t3pc_ald) * mm(y[kT3pc], c.km_t3pc_ald);
+  // Cytosolic FBPase: strongly inhibited by the F26BP regulator.
+  r.v_cfbpase = vmax(kCytFbpase) * y[kFbpc] /
+                (y[kFbpc] + c.km_fbpc_fbpase * (1.0 + y[kF26bp] / c.ki_f26bp_fbpase));
+  r.v_udpgp = vmax(kUdpgp) * mm(g1pc, c.km_hepc_udpgp);
+  r.v_sps = vmax(kSps) * mm(y[kUdpg], c.km_udpg_sps) * mm(f6pc, c.km_hepc_sps);
+  r.v_spp = vmax(kSpp) * mm(y[kSucp], c.km_sucp_spp);
+  r.v_f26bpase = vmax(kF26bpase) * mm(y[kF26bp], c.km_f26bp_f26bpase);
+  r.v_f26bp_syn = c.f26bp_synthesis_rate * mm(f6pc, c.km_hepc_f26bpsyn);
+
+  // --- ATP regeneration by the (light-saturated) thylakoid reactions ---------
+  r.v_atpsyn = c.atp_synthesis_vmax * mm(adp, c.km_adp_atpsyn) *
+               mm(r.free_pi, c.km_pi_atpsyn);
+
+  return r;
+}
+
+void C3Model::derivatives(std::span<const double> y, std::span<const double> mult,
+                          num::Vec& dydt) const {
+  const C3Rates r = rates(y, mult);
+  dydt.assign(kNumMetabolites, 0.0);
+
+  dydt[kRuBP] = r.v_prk - r.vc - r.vo;
+  dydt[kPga] = 2.0 * r.vc + r.vo + r.v_gceak - r.v_pgak - r.v_export_pga;
+  dydt[kDpga] = r.v_pgak - r.v_gapdh;
+  dydt[kT3p] = r.v_gapdh - 2.0 * r.v_fbpald - r.v_tk1 - r.v_tk2 - r.v_sbpald -
+               r.v_export;
+  dydt[kFbp] = r.v_fbpald - r.v_fbpase;
+  dydt[kE4p] = r.v_tk1 - r.v_sbpald;
+  dydt[kSbp] = r.v_sbpald - r.v_sbpase;
+  dydt[kS7p] = r.v_sbpase - r.v_tk2;
+  dydt[kPeP] = r.v_tk1 + 2.0 * r.v_tk2 - r.v_prk;
+  dydt[kHeP] = r.v_fbpase - r.v_tk1 - r.v_starch;
+  dydt[kPgca] = r.vo - r.v_pgcapase;
+  dydt[kGca] = r.v_pgcapase - r.v_goaox;
+  dydt[kGoa] = r.v_goaox - r.v_ggat - r.v_gsat;
+  dydt[kGly] = r.v_ggat + r.v_gsat - 2.0 * r.v_gdc;
+  dydt[kSer] = r.v_gdc - r.v_gsat;
+  dydt[kHpr] = r.v_gsat - r.v_hpr;
+  dydt[kGcea] = r.v_hpr - r.v_gceak;
+  dydt[kAtp] = r.v_atpsyn - r.v_pgak - r.v_prk - r.v_gceak - r.v_starch;
+  // Exported PGA enters the cytosolic triose pool as a C3 equivalent (its
+  // glycolytic conversion is not modeled separately).
+  dydt[kT3pc] = r.v_export + r.v_export_pga - 2.0 * r.v_cfbpald;
+  dydt[kFbpc] = r.v_cfbpald - r.v_cfbpase;
+  dydt[kHePc] = r.v_cfbpase + r.v_f26bpase - r.v_udpgp - r.v_sps - r.v_f26bp_syn;
+  dydt[kUdpg] = r.v_udpgp - r.v_sps;
+  dydt[kSucp] = r.v_sps - r.v_spp;
+  dydt[kF26bp] = r.v_f26bp_syn - r.v_f26bpase;
+}
+
+double C3Model::co2_uptake(std::span<const double> y,
+                           std::span<const double> mult) const {
+  const C3Rates r = rates(y, mult);
+  return config_.uptake_area_scale * (r.vc - r.v_gdc);
+}
+
+namespace {
+
+/// A converged Newton root must also be physically meaningful: finite,
+/// non-negative, and inside the conserved-pool budgets.  (The dead state has
+/// a one-parameter family of roots with arbitrary ATP because all consumers
+/// vanish; those are rejected here.)
+bool physical_state(std::span<const double> y, const C3Config& c) {
+  if (!num::all_finite(y)) return false;
+  for (double v : y) {
+    if (v < -1e-9) return false;
+  }
+  return y[kAtp] <= c.adenylate_total + 1e-6;
+}
+
+}  // namespace
+
+SteadyState C3Model::solve_from(std::span<const double> start,
+                                std::span<const double> mult,
+                                bool allow_fallback) const {
+  const num::NonlinearSystem system = [this, mult](std::span<const double> y,
+                                                   num::Vec& out) {
+    derivatives(y, mult, out);
+  };
+
+  // Rate magnitudes are O(10) mmol/l/s; a residual of 1e-6 is already ~7
+  // orders below the fluxes of interest and the numeric-Jacobian Newton
+  // cannot reliably descend much further.
+  num::NewtonOptions nopts;
+  nopts.max_iterations = 60;
+  nopts.tolerance = 2e-3;
+  nopts.state_floor = 1e-12;
+
+  SteadyState ss;
+  num::NewtonResult newton = num::solve_newton(system, start, nopts);
+  ss.newton_iterations = newton.iterations;
+  bool accepted = newton.converged && physical_state(newton.x, config_);
+
+  if (!accepted) {
+    // Plain Newton's line search stalls on this system for starts outside
+    // the immediate basin; pseudo-transient continuation is globally robust
+    // at the same per-iteration cost.
+    num::PtcOptions popts;
+    popts.max_iterations = 150;
+    popts.tolerance = nopts.tolerance;
+    popts.state_floor = nopts.state_floor;
+    popts.initial_timestep = 0.5;
+    num::NewtonResult ptc = num::solve_pseudo_transient(system, start, popts);
+    ss.newton_iterations += ptc.iterations;
+    if (!ptc.converged && ptc.residual_norm < 1.0) {
+      // PTC rode the transient into the fixed point's neighbourhood; plain
+      // Newton closes the remaining digits.
+      num::NewtonResult polish = num::solve_newton(system, ptc.x, nopts);
+      ss.newton_iterations += polish.iterations;
+      if (polish.converged) ptc = std::move(polish);
+    }
+    if (ptc.converged && physical_state(ptc.x, config_)) {
+      newton = std::move(ptc);
+      accepted = true;
+    }
+  }
+
+  if (!accepted && allow_fallback) {
+    // The transient dynamics can orbit the fixed point (photosynthetic
+    // oscillations), so integrate in legs — far enough to leave the
+    // cold-start region — and let Newton land on the fixed point from there.
+    ss.used_integration_fallback = true;
+    // The system is stiff (fast PGA-reduction equilibria vs slow pool
+    // modes); the linearly implicit Rosenbrock method takes ~100 steps per
+    // leg where the explicit pair needs tens of thousands.
+    num::OdeOptions iopts;
+    iopts.method = num::OdeMethod::kRosenbrockW;
+    iopts.abs_tol = 1e-7;
+    iopts.rel_tol = 1e-5;
+    iopts.initial_step = 1e-3;
+    iopts.state_floor = 0.0;
+    iopts.max_step = 50.0;
+
+    const num::OdeRhs rhs = [this, mult](double, std::span<const double> y,
+                                         num::Vec& dydt) {
+      derivatives(y, mult, dydt);
+    };
+
+    num::Vec y(start.begin(), start.end());
+    double t = 0.0;
+    const std::vector<double> legs = thorough_fallback_
+                                         ? std::vector<double>{300.0, 2000.0, 8000.0, 25000.0}
+                                         : std::vector<double>{300.0, 2000.0};
+    for (const double t_next : legs) {
+      const num::OdeResult leg = num::integrate(rhs, t, y, t_next, iopts);
+      y = leg.y;
+      t = leg.t;
+      if (!leg.success || !num::all_finite(y)) break;
+      num::NewtonResult polished = num::solve_newton(system, y, nopts);
+      ss.newton_iterations += polished.iterations;
+      if (polished.converged && physical_state(polished.x, config_)) {
+        newton = std::move(polished);
+        accepted = true;
+        break;
+      }
+      if (polished.residual_norm < newton.residual_norm &&
+          physical_state(polished.x, config_)) {
+        newton = std::move(polished);
+      }
+    }
+  }
+
+  ss.state = std::move(newton.x);
+  ss.residual = newton.residual_norm;
+  ss.converged = accepted;
+  ss.co2_uptake = ss.converged ? co2_uptake(ss.state, mult) : 0.0;
+  return ss;
+}
+
+SteadyState C3Model::newton_attempt(std::span<const double> start,
+                                    std::span<const double> mult) const {
+  return solve_from(start, mult, /*allow_fallback=*/false);
+}
+
+namespace {
+/// Warm-start cache: the steady state of the previous successful evaluation
+/// on this thread.  Population-based optimizers evaluate similar candidates
+/// back to back, so this start succeeds far more often than any fixed
+/// anchor.  Keyed by model identity; purely an accelerator (results are
+/// Newton roots either way).
+struct TlsWarmStart {
+  const void* model = nullptr;
+  num::Vec state;
+};
+thread_local TlsWarmStart tls_warm;
+}  // namespace
+
+SteadyState C3Model::steady_state(std::span<const double> mult) const {
+  // The collapsed ("dead leaf") state is a genuine root of the kinetics, so
+  // a start inside its basin converges to it even when the candidate also
+  // has a healthy attractor.  The search therefore prefers LIVING roots:
+  // every cheap Newton start is tried until one yields positive fixation,
+  // the integration fallback gets the next say, and a dead root is reported
+  // only when nothing else converged.
+  constexpr double kAliveUptake = 0.5;
+  std::optional<SteadyState> dead;
+
+  auto consider = [&](SteadyState ss) -> std::optional<SteadyState> {
+    if (!ss.converged) return std::nullopt;
+    if (ss.co2_uptake > kAliveUptake) {
+      tls_warm.model = this;
+      tls_warm.state = ss.state;
+      return ss;
+    }
+    if (!dead) dead = std::move(ss);
+    return std::nullopt;
+  };
+
+  // 1. Cheap Newton attempts: warm start (always a living state), then the
+  //    anchor ladder.
+  if (tls_warm.model == this && !tls_warm.state.empty()) {
+    if (auto alive = consider(newton_attempt(tls_warm.state, mult))) return *alive;
+  }
+  for (const num::Vec& anchor : anchors_) {
+    if (auto alive = consider(newton_attempt(anchor, mult))) return *alive;
+  }
+
+  // 2. Expensive path: integrate the natural transient under the candidate
+  //    kinetics — this decides the basin honestly.
+  const num::Vec& start = natural_.converged ? natural_.state : default_initial_state();
+  SteadyState ss =
+      solve_from(start, mult, /*allow_fallback=*/!config_.fast_evaluation);
+  if (auto alive = consider(std::move(ss))) return *alive;
+
+  // 3. Oscillation handling: near the model's Hopf boundary the kinetics
+  //    orbit a limit cycle and no solver can settle.  Average one window of
+  //    the orbit — the measurable assimilation rate — and report that.
+  {
+    SteadyState cyc = cycle_average(start, mult);
+    if (cyc.converged) {
+      if (cyc.co2_uptake > kAliveUptake) return cyc;
+      if (!dead) dead = std::move(cyc);
+    }
+  }
+
+  if (dead) return *dead;
+  // Nothing converged: return the last attempt's diagnostics.
+  return solve_from(start, mult, /*allow_fallback=*/false);
+}
+
+SteadyState C3Model::cycle_average(std::span<const double> start,
+                                   std::span<const double> mult) const {
+  num::OdeOptions iopts;
+  iopts.method = num::OdeMethod::kRosenbrockW;
+  iopts.abs_tol = 1e-6;
+  iopts.rel_tol = 1e-4;
+  iopts.initial_step = 1e-3;
+  iopts.state_floor = 0.0;
+  iopts.max_step = 20.0;
+
+  const num::OdeRhs rhs = [this, mult](double, std::span<const double> y,
+                                       num::Vec& dydt) {
+    derivatives(y, mult, dydt);
+  };
+
+  SteadyState ss;
+  // Skip the initial transient, then average over a sampling window.
+  num::Vec y(start.begin(), start.end());
+  num::OdeResult leg = num::integrate(rhs, 0.0, y, 400.0, iopts);
+  if (!leg.success || !num::all_finite(leg.y)) return ss;
+  y = leg.y;
+
+  num::Vec mean_state(kNumMetabolites, 0.0);
+  double mean_uptake = 0.0;
+  constexpr int kSamples = 40;
+  constexpr double kDt = 10.0;
+  double t = 400.0;
+  for (int s = 0; s < kSamples; ++s) {
+    leg = num::integrate(rhs, t, y, t + kDt, iopts);
+    if (!leg.success || !num::all_finite(leg.y)) return ss;
+    y = leg.y;
+    t = leg.t;
+    num::add_inplace(mean_state, y);
+    mean_uptake += co2_uptake(y, mult);
+  }
+  num::scale_inplace(mean_state, 1.0 / kSamples);
+  mean_uptake /= kSamples;
+
+  ss.state = std::move(mean_state);
+  ss.co2_uptake = mean_uptake;
+  num::Vec d(kNumMetabolites);
+  derivatives(ss.state, mult, d);
+  ss.residual = num::norm_inf(d);
+  ss.converged = physical_state(ss.state, config_);
+  ss.oscillatory = true;
+  ss.used_integration_fallback = true;
+  return ss;
+}
+
+std::optional<double> C3Model::steady_uptake(std::span<const double> mult) const {
+  const SteadyState ss = steady_state(mult);
+  if (!ss.converged) return std::nullopt;
+  return ss.co2_uptake;
+}
+
+double C3Model::nitrogen(std::span<const double> mult) const {
+  return total_nitrogen(mult, config_.nitrogen_scale);
+}
+
+}  // namespace rmp::kinetics

@@ -1,0 +1,257 @@
+// C3 photosynthetic carbon metabolism — a kinetic ODE model in the structure
+// of Zhu, de Sturler & Long (Plant Physiology 145, 2007), the substrate of
+// the paper's photosynthesis experiments.
+//
+// Modeled subsystems (all rate laws Michaelis-Menten, modified for inhibitors
+// and activators where noted):
+//   * Calvin-Benson cycle: Rubisco carboxylation/oxygenation, PGA reduction,
+//     regeneration (aldolases, FBPase, SBPase, transketolase, PRK);
+//   * photorespiration: PGCA -> GCA -> GOA -> GLY -> SER -> HPR -> GCEA ->
+//     PGA with CO2 release at glycine decarboxylase;
+//   * starch synthesis (ADPGPP, PGA-activated / Pi-inhibited);
+//   * triose-phosphate export through the Pi translocator with a maximal
+//     export rate — the paper's "triose-P max export rate" scenario knob;
+//   * cytosolic sucrose synthesis (aldolase, FBPase inhibited by F26BP,
+//     UDPGP, SPS, SPP) and the F26BP regulator pool;
+//   * conserved quantities: stromal phosphate and adenylates — the pool that
+//     produces sink (TPU-style) feedback limitation;
+//   * equilibrium pools per the paper: GAP/DHAP (stroma and cytosol),
+//     Xu5P/Ri5P/Ru5P, F6P/G6P/G1P.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): kinetic constants are calibrated so the
+// natural-leaf operating point and the optimization landscape match the
+// paper's reported numbers in shape; they are not the published Zhu
+// parameter set (unavailable offline).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "kinetics/enzymes.hpp"
+#include "numeric/ode.hpp"
+#include "numeric/vec.hpp"
+
+namespace rmp::kinetics {
+
+/// Metabolite state layout (all concentrations mmol l^-1).
+enum MetaboliteId : std::size_t {
+  kRuBP = 0,
+  kPga,
+  kDpga,
+  kT3p,    ///< stromal GAP + DHAP equilibrium pool
+  kFbp,
+  kE4p,
+  kSbp,
+  kS7p,
+  kPeP,    ///< Ru5P + Xu5P + Ri5P equilibrium pool
+  kHeP,    ///< F6P + G6P + G1P equilibrium pool
+  kPgca,
+  kGca,
+  kGoa,
+  kGly,
+  kSer,
+  kHpr,
+  kGcea,
+  kAtp,    ///< ADP = adenylate_total - ATP
+  kT3pc,   ///< cytosolic GAP + DHAP pool
+  kFbpc,
+  kHePc,
+  kUdpg,
+  kSucp,
+  kF26bp,
+  kNumMetabolites,
+};
+
+/// Environmental scenario + kinetic constants.
+struct C3Config {
+  // --- scenario knobs (the paper's six conditions) -----------------------
+  double ci_ppm = 270.0;            ///< CO2 concentration, umol mol^-1
+  double triose_export_vmax = 1.0;  ///< mmol l^-1 s^-1 (1 = low, 3 = high)
+
+  // --- environment -------------------------------------------------------
+  double o2_ppm = 210000.0;  ///< 21% O2
+
+  // --- Rubisco -----------------------------------------------------------
+  double kc_ppm = 300.0;     ///< CO2 Michaelis constant (gas-equivalent units)
+  double ko_ppm = 210000.0;  ///< O2 Michaelis constant
+  double vo_vc_capacity_ratio = 0.30;  ///< Vomax / Vcmax
+  double km_rubp = 0.30;     ///< mmol/l
+
+  // --- Calvin cycle Michaelis constants (mmol/l) --------------------------
+  // Kms are expressed against the equilibrium pools (T3P, PeP, HeP) — the
+  // fast GAP/DHAP etc. interconversions are folded into effective constants.
+  // PGA kinase and GAPDH operate near thermodynamic equilibrium in vivo;
+  // they are modeled reversibly with mass-action displacement terms.  This
+  // buffers the PGA/DPGA/T3P sector against both the "PGA swamp"
+  // (phosphate sequestration) and autocatalytic collapse.
+  double km_pga_pgak = 1.0, km_atp_pgak = 0.3;
+  double keq_pgak = 0.011;   ///< (DPGA*ADP)/(PGA*ATP) at equilibrium
+  double km_dpga_gapdh = 0.3;
+  double keq_gapdh = 45.0;   ///< (T3P*Pi)/DPGA at equilibrium
+  double km_t3p_ald = 0.45, km_fbp_ald_rev = 1.2;
+  double km_fbp_fbpase = 0.17;
+  double km_f6p_tk = 0.3, km_t3p_tk = 0.3;
+  double km_s7p_tk = 0.5;
+  double km_e4p_sald = 0.1, km_t3p_sald = 0.3;
+  double km_sbp_sbpase = 0.13;
+  double km_ru5p_prk = 0.05, km_atp_prk = 0.25, ki_pga_prk = 6.0;
+
+  // --- starch ------------------------------------------------------------
+  double km_g1p_adpgpp = 0.05;
+  double ka_pga_adpgpp = 3.0;   ///< half-activation PGA/Pi ratio
+  double ki_pi_adpgpp = 2.5;    ///< Pi inhibition constant
+
+  // --- photorespiration (mmol/l) ------------------------------------------
+  double km_pgca = 0.03;
+  double km_gca = 0.1;
+  double km_goa_ggat = 0.15;
+  double km_goa_gsat = 0.15, km_ser_gsat = 0.45;
+  double km_gly_gdc = 3.0;
+  double km_hpr = 0.09;
+  double km_gcea = 0.25, km_atp_gceak = 0.3;
+
+  // --- export & sucrose ----------------------------------------------------
+  // The Pi translocator carries PGA as well as triose-P (the paper's export
+  // pool is "PGA, GAP, and DHAP"); both species compete for the same
+  // carrier, so PGA export drains the PGA/Pi deadlock that otherwise locks
+  // the cycle at high fixation rates.
+  // The antiport needs free cytosolic Pi (recycled by sucrose synthesis);
+  // a congested cytosol throttles export — the sink-limitation mechanism.
+  double km_t3p_export = 1.8;
+  double km_pga_export = 5.0;
+  double km_pi_cyt_export = 0.3;
+  double km_t3pc_ald = 0.25;
+  double km_fbpc_fbpase = 0.10, ki_f26bp_fbpase = 0.004;
+  double km_hepc_udpgp = 0.15;
+  double km_udpg_sps = 0.25, km_hepc_sps = 0.25;
+  double km_sucp_spp = 0.05;
+  double km_f26bp_f26bpase = 0.005;
+  double f26bp_synthesis_rate = 0.003;  ///< fixed F6P-2-kinase capacity, mmol/l/s
+  double km_hepc_f26bpsyn = 0.5;
+
+  // --- cofactors and conserved pools ---------------------------------------
+  double atp_synthesis_vmax = 34.0;  ///< thylakoid capacity, mmol/l/s
+  double km_adp_atpsyn = 0.25, km_pi_atpsyn = 0.1;
+  double adenylate_total = 1.5;      ///< ATP + ADP, mmol/l
+  double stromal_phosphate_total = 18.0;  ///< free Pi + esterified P, mmol/l
+  double cytosolic_phosphate_total = 5.0;
+  double min_free_pi = 1e-4;
+
+  // --- equilibrium pool fractions -----------------------------------------
+  double frac_gap_t3p = 1.0 / 23.0;   ///< GAP share of the T3P pool (Keq ~ 22)
+  double frac_dhap_t3p = 22.0 / 23.0;
+  double frac_ru5p_pep = 0.30, frac_x5p_pep = 0.45, frac_r5p_pep = 0.25;
+  double frac_f6p_hep = 0.293, frac_g6p_hep = 0.674, frac_g1p_hep = 0.033;
+
+  // --- evaluation strategy ---------------------------------------------------
+  /// When true (default), candidate steady-state evaluation skips the
+  /// integration fallback: candidates that defeat every Newton/PTC warm
+  /// start are reported unconverged (infeasible to the optimizer).  The
+  /// natural state and anchors are always solved thoroughly.
+  bool fast_evaluation = true;
+
+  // --- reporting ------------------------------------------------------------
+  /// Converts net stromal fixation (mmol l^-1 s^-1) to leaf-area CO2 uptake
+  /// (umol m^-2 s^-1): effective stroma volume per unit leaf area.
+  double uptake_area_scale = 7.266;
+  /// Scales SUM(vmax * MW / kcat) into the paper's mg l^-1 nitrogen axis.
+  double nitrogen_scale = 658.1;
+};
+
+/// Instantaneous reaction rates (mmol l^-1 s^-1); primarily for tests and
+/// flux reporting.
+struct C3Rates {
+  double vc = 0, vo = 0;                    // Rubisco
+  double v_pgak = 0, v_gapdh = 0;
+  double v_fbpald = 0, v_fbpase = 0;
+  double v_tk1 = 0, v_tk2 = 0;
+  double v_sbpald = 0, v_sbpase = 0;
+  double v_prk = 0;
+  double v_starch = 0;
+  double v_pgcapase = 0, v_goaox = 0, v_ggat = 0, v_gsat = 0, v_gdc = 0;
+  double v_hpr = 0, v_gceak = 0;
+  double v_export = 0;      ///< triose-P leg of the translocator
+  double v_export_pga = 0;  ///< PGA leg of the translocator
+  double v_cfbpald = 0, v_cfbpase = 0, v_udpgp = 0, v_sps = 0, v_spp = 0;
+  double v_f26bpase = 0, v_f26bp_syn = 0;
+  double v_atpsyn = 0;
+  double free_pi = 0;       ///< free stromal phosphate
+  double free_pi_cyt = 0;   ///< free cytosolic phosphate
+};
+
+/// Result of driving the model to steady state for one enzyme partition.
+struct SteadyState {
+  num::Vec state;        ///< metabolite concentrations at steady state
+  double co2_uptake = 0; ///< A, umol m^-2 s^-1 (net of photorespiratory release)
+  double residual = 0;   ///< ||dy/dt||_inf at the returned state
+  bool converged = false;
+  std::size_t newton_iterations = 0;
+  bool used_integration_fallback = false;
+  /// True when the kinetics orbit a limit cycle instead of settling; the
+  /// reported state and uptake are then time averages over the cycle (which
+  /// is what leaf gas-exchange instruments measure during photosynthetic
+  /// oscillations).
+  bool oscillatory = false;
+};
+
+class C3Model {
+ public:
+  explicit C3Model(C3Config config = {});
+
+  [[nodiscard]] const C3Config& config() const { return config_; }
+
+  /// All reaction rates at state y for enzyme activity multipliers `mult`
+  /// (size kNumEnzymes, 1.0 = natural activity).
+  [[nodiscard]] C3Rates rates(std::span<const double> y,
+                              std::span<const double> mult) const;
+
+  /// dy/dt at state y.
+  void derivatives(std::span<const double> y, std::span<const double> mult,
+                   num::Vec& dydt) const;
+
+  /// Net CO2 uptake at a state (umol m^-2 s^-1): carboxylation minus the
+  /// photorespiratory release at GDC, scaled to leaf area.
+  [[nodiscard]] double co2_uptake(std::span<const double> y,
+                                  std::span<const double> mult) const;
+
+  /// Steady state for an enzyme partition: damped Newton from the natural
+  /// steady state, with an adaptive-integration fallback when Newton fails.
+  [[nodiscard]] SteadyState steady_state(std::span<const double> mult) const;
+
+  /// Steady-state CO2 uptake; 0 with converged=false propagated via optional.
+  [[nodiscard]] std::optional<double> steady_uptake(std::span<const double> mult) const;
+
+  /// Total protein nitrogen of a multiplier partition (paper units, mg/l).
+  [[nodiscard]] double nitrogen(std::span<const double> mult) const;
+
+  /// The natural leaf state (multipliers all 1), solved once per model.
+  [[nodiscard]] const SteadyState& natural_state() const { return natural_; }
+
+  /// Textbook initial concentrations used to bootstrap the natural solve.
+  [[nodiscard]] static num::Vec default_initial_state();
+
+ private:
+  [[nodiscard]] SteadyState solve_from(std::span<const double> start,
+                                       std::span<const double> mult,
+                                       bool allow_fallback) const;
+
+  void build_anchors();
+
+  /// Time-averaged state/uptake over one window of a limit cycle.
+  [[nodiscard]] SteadyState cycle_average(std::span<const double> start,
+                                          std::span<const double> mult) const;
+
+  /// Newton-only attempt from one starting state (no integration).
+  [[nodiscard]] SteadyState newton_attempt(std::span<const double> start,
+                                           std::span<const double> mult) const;
+
+  C3Config config_;
+  SteadyState natural_;
+  /// Steady states of representative partitions (scaled-down / scaled-up),
+  /// extra Newton warm starts for far-from-natural candidates.
+  std::vector<num::Vec> anchors_;
+  /// Long integration legs allowed (constructor-time solves only).
+  bool thorough_fallback_ = false;
+};
+
+}  // namespace rmp::kinetics

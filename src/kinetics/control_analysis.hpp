@@ -1,0 +1,37 @@
+// Metabolic control analysis on the C3 model: flux control coefficients
+//   C_i = (dA / A) / (dVmax_i / Vmax_i)
+// — the normalized sensitivity of steady-state CO2 uptake to each enzyme's
+// activity.  This is the quantitative version of the paper's discussion of
+// which enzymes (Rubisco, SBPase, ADPGPP, FBP aldolase) control carbon
+// metabolism, and by the summation theorem the coefficients of a
+// well-behaved pathway add up to ~1.
+#pragma once
+
+#include <vector>
+
+#include "kinetics/c3model.hpp"
+
+namespace rmp::kinetics {
+
+struct ControlCoefficient {
+  std::size_t enzyme = 0;
+  double coefficient = 0.0;  ///< C_i, dimensionless
+  bool reliable = true;      ///< false when either probe failed to converge
+};
+
+struct ControlAnalysisOptions {
+  double relative_step = 0.02;  ///< central difference: Vmax * (1 +- step)
+};
+
+/// Flux control coefficients of CO2 uptake at the partition `mult`
+/// (central differences of the steady-state solve).  Returns one entry per
+/// enzyme, in EnzymeId order.
+[[nodiscard]] std::vector<ControlCoefficient> flux_control_coefficients(
+    const C3Model& model, std::span<const double> mult,
+    const ControlAnalysisOptions& opts = {});
+
+/// Sum of the (reliable) coefficients — ~1 by the summation theorem.
+[[nodiscard]] double control_coefficient_sum(
+    std::span<const ControlCoefficient> coefficients);
+
+}  // namespace rmp::kinetics

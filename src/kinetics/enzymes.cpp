@@ -1,0 +1,65 @@
+#include "kinetics/enzymes.hpp"
+
+#include <cassert>
+
+namespace rmp::kinetics {
+
+namespace {
+
+// Molecular weights and catalytic numbers are representative literature-scale
+// values (holoenzyme MW; kcat aggregated over catalytic sites).  Natural Vmax
+// values are calibrated so that the wild-type steady state of the C3 model
+// reproduces the paper's operating point (CO2 uptake ~15.5 umol m^-2 s^-1 at
+// Ci = 270 umol mol^-1; see tests/kinetics/calibration_test.cpp).
+constexpr std::array<EnzymeInfo, kNumEnzymes> kTable = {{
+    // name                      MW kDa   kcat 1/s  natural Vmax mmol/l/s
+    {"Rubisco",                  550.0,   66.0,     16.0},
+    {"PGA Kinase",                45.0,  250.0,     40.0},
+    {"GAP DH",                   150.0,  100.0,     40.0},
+    {"FBP Aldolase",             160.0,   25.0,      2.6},
+    {"FBPase",                   140.0,   30.0,      2.6},
+    {"Transketolase",            150.0,   40.0,      2.4},
+    {"Aldolase",                 160.0,   25.0,      2.2},
+    {"SBPase",                   120.0,   20.0,      1.9},
+    {"PRK",                       90.0,  200.0,      7.0},
+    {"ADPGPP",                   210.0,   15.0,      0.35},
+    {"PGCAPase",                  60.0,  100.0,      1.6},
+    {"GCEA Kinase",               45.0,  150.0,      1.3},
+    {"GOA Oxidase",              150.0,   20.0,      1.6},
+    {"GSAT",                      90.0,   50.0,      0.9},
+    {"HPR reductas",              95.0,  200.0,      1.2},
+    {"GGAT",                      90.0,   50.0,      0.9},
+    {"GDC",                     1000.0,   60.0,      1.1},
+    {"Cytolic FBP aldolase",     160.0,   25.0,      0.8},
+    {"Cytolic FBPase",           140.0,   30.0,      0.5},
+    {"UDPGP",                     55.0,  300.0,      0.3},
+    {"SPS",                      120.0,   30.0,      0.35},
+    {"SPP",                       55.0,  100.0,      0.3},
+    {"F26BPase",                  50.0,   30.0,      0.1},
+}};
+
+}  // namespace
+
+std::span<const EnzymeInfo, kNumEnzymes> enzyme_table() { return kTable; }
+
+std::string_view enzyme_name(std::size_t id) {
+  assert(id < kNumEnzymes);
+  return kTable[id].name;
+}
+
+double enzyme_nitrogen(std::size_t id, double vmax, double nitrogen_scale) {
+  assert(id < kNumEnzymes);
+  const EnzymeInfo& e = kTable[id];
+  return vmax * e.mw_kda / e.kcat_per_s * nitrogen_scale;
+}
+
+double total_nitrogen(std::span<const double> multipliers, double nitrogen_scale) {
+  assert(multipliers.size() == kNumEnzymes);
+  double total = 0.0;
+  for (std::size_t i = 0; i < kNumEnzymes; ++i) {
+    total += enzyme_nitrogen(i, multipliers[i] * kTable[i].natural_vmax, nitrogen_scale);
+  }
+  return total;
+}
+
+}  // namespace rmp::kinetics

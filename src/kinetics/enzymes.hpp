@@ -1,0 +1,67 @@
+// The 23 tunable enzymes of the C3 carbon-metabolism model — exactly the set
+// shown in the paper's Figure 2, in the same order.  Each enzyme carries the
+// data the nitrogen objective needs: molecular weight and catalytic number,
+// so that the protein-nitrogen bound to an activity x_i (a Vmax) is
+//     N_i = x_i * MW_i / kcat_i * scale
+// (the formula in the caption of Figure 2), plus its natural (wild-type leaf)
+// maximal activity used as the reference partition.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace rmp::kinetics {
+
+enum EnzymeId : std::size_t {
+  kRubisco = 0,
+  kPgaKinase,
+  kGapDh,
+  kFbpAldolase,
+  kFbpase,
+  kTransketolase,
+  kSbpAldolase,   // "Aldolase" in Figure 2
+  kSbpase,
+  kPrk,
+  kAdpgpp,
+  kPgcaPase,      // phosphoglycolate phosphatase
+  kGceaKinase,    // glycerate kinase
+  kGoaOxidase,    // glycolate oxidase
+  kGsat,          // serine:glyoxylate aminotransferase
+  kHprReductase,
+  kGgat,          // glutamate:glyoxylate aminotransferase
+  kGdc,           // glycine decarboxylase complex
+  kCytFbpAldolase,
+  kCytFbpase,
+  kUdpgp,
+  kSps,           // sucrose-phosphate synthase
+  kSpp,           // sucrose-phosphate phosphatase
+  kF26bpase,
+  kNumEnzymes,
+};
+
+struct EnzymeInfo {
+  std::string_view name;       ///< display name (Figure 2 labels)
+  double mw_kda;               ///< holoenzyme molecular weight, kDa
+  double kcat_per_s;           ///< effective catalytic number per holoenzyme, 1/s
+  double natural_vmax;         ///< wild-type maximal activity, mmol l^-1 s^-1
+};
+
+/// The enzyme table, indexed by EnzymeId.
+[[nodiscard]] std::span<const EnzymeInfo, kNumEnzymes> enzyme_table();
+
+/// Display name of one enzyme.
+[[nodiscard]] std::string_view enzyme_name(std::size_t id);
+
+/// Protein-nitrogen (arbitrary paper units, mg l^-1 after calibration scale)
+/// bound in enzyme `id` at activity `vmax`.
+[[nodiscard]] double enzyme_nitrogen(std::size_t id, double vmax,
+                                     double nitrogen_scale);
+
+/// Total protein-nitrogen of an activity partition (multipliers are relative
+/// to the natural activities).
+[[nodiscard]] double total_nitrogen(std::span<const double> multipliers,
+                                    double nitrogen_scale);
+
+}  // namespace rmp::kinetics

@@ -1,0 +1,60 @@
+#include "kinetics/photosynthesis_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmp::kinetics {
+
+PhotosynthesisProblem::PhotosynthesisProblem(std::shared_ptr<const C3Model> model,
+                                             PhotosynthesisBounds bounds)
+    : model_(std::move(model)),
+      lower_(kNumEnzymes, bounds.lower),
+      upper_(kNumEnzymes, bounds.upper),
+      min_uptake_(bounds.min_uptake) {}
+
+std::string PhotosynthesisProblem::name() const {
+  const C3Config& c = model_->config();
+  return "photosynthesis(Ci=" + std::to_string(static_cast<int>(c.ci_ppm)) +
+         ",export=" + std::to_string(c.triose_export_vmax) + ")";
+}
+
+double PhotosynthesisProblem::evaluate(std::span<const double> x,
+                                       std::span<double> f) const {
+  const double nitrogen = model_->nitrogen(x);
+  const SteadyState ss = model_->steady_state(x);
+  if (!ss.converged) {
+    // No steady state: worthless uptake plus a violation proportional to the
+    // residual so the constrained-domination ordering can still rank it.
+    f[0] = 0.0;
+    f[1] = nitrogen;
+    return 1.0 + std::min(ss.residual, 1e6);
+  }
+  f[0] = -ss.co2_uptake;  // maximize A
+  f[1] = nitrogen;        // minimize N
+  if (ss.co2_uptake < min_uptake_) {
+    // Alive-leaf constraint: collapsed designs are ranked by how far below
+    // the survival threshold they sit.
+    return min_uptake_ - ss.co2_uptake;
+  }
+  return 0.0;
+}
+
+std::size_t PhotosynthesisProblem::suggest_initial(std::span<num::Vec> out,
+                                                   num::Rng& rng) const {
+  if (out.empty()) return 0;
+  std::size_t written = 0;
+
+  // The natural leaf itself.
+  out[written++] = num::Vec(kNumEnzymes, 1.0);
+
+  // Jittered natural partitions spread the initial population around the
+  // operating point without leaving its basin.
+  while (written < out.size()) {
+    num::Vec v(kNumEnzymes);
+    for (double& m : v) m = std::clamp(rng.normal(1.0, 0.35), lower_[0], upper_[0]);
+    out[written++] = std::move(v);
+  }
+  return written;
+}
+
+}  // namespace rmp::kinetics

@@ -1,0 +1,59 @@
+// The photosynthesis design problem of Section 3.1 as a moo::Problem:
+//   variables   — 23 enzyme-activity multipliers relative to the natural leaf;
+//   objective 0 — maximize CO2 uptake (stored negated: minimize -A);
+//   objective 1 — minimize total protein-nitrogen of the partition;
+//   infeasible  — partitions whose kinetics admit no steady state (violation
+//                 is the residual derivative norm).
+// Six scenario instances (Ci in {165, 270, 490} x export in {1, 3}) are
+// provided by scenarios.hpp.
+#pragma once
+
+#include <memory>
+
+#include "kinetics/c3model.hpp"
+#include "moo/problem.hpp"
+
+namespace rmp::kinetics {
+
+struct PhotosynthesisBounds {
+  double lower = 0.02;  ///< multiplier floor (enzymes cannot fully vanish)
+  double upper = 5.0;   ///< multiplier ceiling
+  /// A design must sustain positive carbon fixation: partitions whose
+  /// steady-state uptake falls below this are treated as constraint
+  /// violations (the "dead leaf" steady state is mathematically Pareto
+  /// optimal on the nitrogen axis but biologically meaningless).
+  double min_uptake = 0.5;
+};
+
+class PhotosynthesisProblem final : public moo::Problem {
+ public:
+  explicit PhotosynthesisProblem(std::shared_ptr<const C3Model> model,
+                                 PhotosynthesisBounds bounds = {});
+
+  [[nodiscard]] std::size_t num_variables() const override { return kNumEnzymes; }
+  [[nodiscard]] std::size_t num_objectives() const override { return 2; }
+  [[nodiscard]] std::span<const double> lower_bounds() const override { return lower_; }
+  [[nodiscard]] std::span<const double> upper_bounds() const override { return upper_; }
+  [[nodiscard]] std::string name() const override;
+
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+
+  /// Seeds the optimizer with the natural partition and jittered copies.
+  std::size_t suggest_initial(std::span<num::Vec> out, num::Rng& rng) const override;
+
+  [[nodiscard]] const C3Model& model() const { return *model_; }
+
+  /// Converts a stored objective vector back to (CO2 uptake, nitrogen) in
+  /// paper units (uptake positive).
+  [[nodiscard]] static std::pair<double, double> to_paper_units(
+      std::span<const double> f) {
+    return {-f[0], f[1]};
+  }
+
+ private:
+  std::shared_ptr<const C3Model> model_;
+  num::Vec lower_, upper_;
+  double min_uptake_;
+};
+
+}  // namespace rmp::kinetics

@@ -1,0 +1,47 @@
+#include "kinetics/scenarios.hpp"
+
+namespace rmp::kinetics {
+
+std::array<Scenario, 6> figure1_scenarios() {
+  return {{
+      {"past(Ci=165),low-export", kCiPast, kExportLow},
+      {"past(Ci=165),high-export", kCiPast, kExportHigh},
+      {"present(Ci=270),low-export", kCiPresent, kExportLow},
+      {"present(Ci=270),high-export", kCiPresent, kExportHigh},
+      {"future(Ci=490),low-export", kCiFuture, kExportLow},
+      {"future(Ci=490),high-export", kCiFuture, kExportHigh},
+  }};
+}
+
+Scenario table1_scenario() { return {"present(Ci=270),high-export", kCiPresent, kExportHigh}; }
+
+Scenario figure2_scenario() { return {"present(Ci=270),low-export", kCiPresent, kExportLow}; }
+
+std::shared_ptr<const C3Model> make_model(const Scenario& s) {
+  C3Config cfg;
+  cfg.ci_ppm = s.ci_ppm;
+  cfg.triose_export_vmax = s.triose_export_vmax;
+  return std::make_shared<const C3Model>(cfg);
+}
+
+std::shared_ptr<PhotosynthesisProblem> make_problem(const Scenario& s) {
+  return std::make_shared<PhotosynthesisProblem>(make_model(s));
+}
+
+std::vector<AciPoint> aci_curve(std::span<const double> multipliers,
+                                std::span<const double> ci_values,
+                                double triose_export_vmax) {
+  std::vector<AciPoint> curve;
+  curve.reserve(ci_values.size());
+  for (const double ci : ci_values) {
+    C3Config cfg;
+    cfg.ci_ppm = ci;
+    cfg.triose_export_vmax = triose_export_vmax;
+    const C3Model model(cfg);
+    const SteadyState ss = model.steady_state(multipliers);
+    curve.push_back({ci, ss.co2_uptake, ss.converged});
+  }
+  return curve;
+}
+
+}  // namespace rmp::kinetics

@@ -1,0 +1,59 @@
+// The six environmental conditions of Figure 1: three atmospheric CO2 levels
+// (25M years ago, present, and the level predicted for 2100) crossed with two
+// maximal triose-phosphate export rates.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+#include <memory>
+#include <string>
+
+#include "kinetics/c3model.hpp"
+#include "kinetics/photosynthesis_problem.hpp"
+
+namespace rmp::kinetics {
+
+struct Scenario {
+  std::string label;
+  double ci_ppm;
+  double triose_export_vmax;
+};
+
+inline constexpr double kCiPast = 165.0;     ///< 25M years ago
+inline constexpr double kCiPresent = 270.0;  ///< present-day stroma level
+inline constexpr double kCiFuture = 490.0;   ///< predicted for 2100
+inline constexpr double kExportLow = 1.0;    ///< mmol l^-1 s^-1
+inline constexpr double kExportHigh = 3.0;
+
+/// The six (Ci, export) pairs of Figure 1, past->future, low export first.
+[[nodiscard]] std::array<Scenario, 6> figure1_scenarios();
+
+/// The condition of Table 1 / Table 2 / Figure 3: Ci = 270, high export.
+[[nodiscard]] Scenario table1_scenario();
+
+/// The condition of Figure 2 (candidates B and A2): Ci = 270, low export.
+[[nodiscard]] Scenario figure2_scenario();
+
+/// Builds a model configured for a scenario (other constants default).
+[[nodiscard]] std::shared_ptr<const C3Model> make_model(const Scenario& s);
+
+/// Builds the full design problem for a scenario.
+[[nodiscard]] std::shared_ptr<PhotosynthesisProblem> make_problem(const Scenario& s);
+
+/// One point of an assimilation-vs-CO2 response curve.
+struct AciPoint {
+  double ci_ppm = 0.0;
+  double uptake = 0.0;   ///< A, umol m^-2 s^-1
+  bool converged = false;
+};
+
+/// The classic A-Ci curve of a given enzyme partition: steady-state CO2
+/// uptake across a range of intercellular CO2 levels (each point solved on a
+/// model configured for that Ci).  Rubisco-limited at low Ci, sink/ATP
+/// limited at high Ci — the standard fingerprint of a C3 leaf model.
+[[nodiscard]] std::vector<AciPoint> aci_curve(std::span<const double> multipliers,
+                                              std::span<const double> ci_values,
+                                              double triose_export_vmax = kExportHigh);
+
+}  // namespace rmp::kinetics

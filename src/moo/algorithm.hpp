@@ -1,0 +1,45 @@
+// Common interface of the evolutionary engines so that PMO2 islands can host
+// heterogeneous algorithms (the paper runs NSGA-II instances; MOEA/D plugs in
+// the same way and serves as the comparison baseline).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "moo/individual.hpp"
+#include "moo/problem.hpp"
+
+namespace rmp::moo {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Builds and evaluates the initial population.  Must be called once
+  /// before step(); repeated calls restart the run.
+  virtual void initialize() = 0;
+
+  /// Advances by one generation.
+  virtual void step() = 0;
+
+  /// Current population (valid after initialize()).
+  [[nodiscard]] virtual std::span<const Individual> population() const = 0;
+
+  /// Installs immigrant candidates, displacing the worst residents.
+  virtual void inject(std::span<const Individual> immigrants) = 0;
+
+  /// Total problem evaluations consumed so far.
+  [[nodiscard]] virtual std::size_t evaluations() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs initialize() + `generations` steps (convenience for stand-alone use).
+  void run(std::size_t generations) {
+    initialize();
+    for (std::size_t g = 0; g < generations; ++g) step();
+  }
+};
+
+}  // namespace rmp::moo

@@ -1,0 +1,43 @@
+#include "moo/archive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "moo/dominance.hpp"
+
+namespace rmp::moo {
+
+bool Archive::offer(const Individual& candidate) {
+  if (!candidate.feasible()) return false;
+
+  for (const Individual& m : members_) {
+    if (dominates(m.f, candidate.f)) return false;
+    // Reject exact duplicates in objective space.
+    if (m.f == candidate.f) return false;
+  }
+  std::erase_if(members_,
+                [&](const Individual& m) { return dominates(candidate.f, m.f); });
+  members_.push_back(candidate);
+  if (capacity_ != 0 && members_.size() > capacity_) prune();
+  return true;
+}
+
+void Archive::offer_all(std::span<const Individual> candidates) {
+  for (const Individual& c : candidates) offer(c);
+}
+
+void Archive::prune() {
+  // Crowding-distance pruning: recompute distances over the whole archive
+  // (it is a single front by construction) and drop the most crowded member.
+  while (capacity_ != 0 && members_.size() > capacity_) {
+    std::vector<std::size_t> front(members_.size());
+    for (std::size_t i = 0; i < front.size(); ++i) front[i] = i;
+    assign_crowding_distance(members_, front);
+    const auto victim = std::min_element(
+        members_.begin(), members_.end(),
+        [](const Individual& a, const Individual& b) { return a.crowding < b.crowding; });
+    members_.erase(victim);
+  }
+}
+
+}  // namespace rmp::moo

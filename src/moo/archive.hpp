@@ -1,0 +1,43 @@
+// Bounded external archive of non-dominated solutions.
+//
+// PMO2 maintains one global archive fed by every island each generation; the
+// archive is what the paper reports as "the Pareto-Front found by the
+// algorithm" (755 Pareto optimal concentrations etc.).  Pruning removes the
+// most crowded member when capacity is exceeded, preserving front extremes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "moo/individual.hpp"
+
+namespace rmp::moo {
+
+class Archive {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit Archive(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Offers a candidate: inserted iff feasible-and-non-dominated w.r.t. the
+  /// archive (infeasible candidates are never archived).  Dominated residents
+  /// are evicted.  Returns true when the candidate was inserted.
+  bool offer(const Individual& candidate);
+
+  /// Offers every member of a population.
+  void offer_all(std::span<const Individual> candidates);
+
+  [[nodiscard]] std::span<const Individual> solutions() const { return members_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear() { members_.clear(); }
+
+ private:
+  void prune();
+
+  std::size_t capacity_;
+  std::vector<Individual> members_;
+};
+
+}  // namespace rmp::moo

@@ -1,0 +1,118 @@
+#include "moo/dominance.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmp::moo {
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool constrained_dominates(const Individual& a, const Individual& b) {
+  const bool fa = a.feasible();
+  const bool fb = b.feasible();
+  if (fa && !fb) return true;
+  if (!fa && fb) return false;
+  if (!fa && !fb) return a.violation < b.violation;
+  return dominates(a.f, b.f);
+}
+
+std::vector<std::vector<std::size_t>> fast_nondominated_sort(std::span<Individual> pop) {
+  const std::size_t n = pop.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      if (constrained_dominates(pop[p], pop[q])) {
+        dominated_by[p].push_back(q);
+        ++domination_count[q];
+      } else if (constrained_dominates(pop[q], pop[p])) {
+        dominated_by[q].push_back(p);
+        ++domination_count[p];
+      }
+    }
+  }
+
+  std::vector<std::size_t> current;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (domination_count[p] == 0) {
+      pop[p].rank = 0;
+      current.push_back(p);
+    }
+  }
+
+  std::size_t rank = 0;
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (std::size_t p : current) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) {
+          pop[q].rank = rank + 1;
+          next.push_back(q);
+        }
+      }
+    }
+    ++rank;
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+void assign_crowding_distance(std::span<Individual> pop,
+                              std::span<const std::size_t> front) {
+  if (front.empty()) return;
+  for (std::size_t idx : front) pop[idx].crowding = 0.0;
+  if (front.size() <= 2) {
+    for (std::size_t idx : front) pop[idx].crowding = kInfiniteCrowding;
+    return;
+  }
+
+  const std::size_t m = pop[front.front()].f.size();
+  std::vector<std::size_t> order(front.begin(), front.end());
+
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pop[a].f[obj] < pop[b].f[obj];
+    });
+    const double lo = pop[order.front()].f[obj];
+    const double hi = pop[order.back()].f[obj];
+    pop[order.front()].crowding = kInfiniteCrowding;
+    pop[order.back()].crowding = kInfiniteCrowding;
+    const double range = hi - lo;
+    if (range <= 0.0) continue;
+    for (std::size_t k = 1; k + 1 < order.size(); ++k) {
+      if (pop[order[k]].crowding == kInfiniteCrowding) continue;
+      pop[order[k]].crowding +=
+          (pop[order[k + 1]].f[obj] - pop[order[k - 1]].f[obj]) / range;
+    }
+  }
+}
+
+bool crowded_less(const Individual& a, const Individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+std::vector<std::size_t> nondominated_indices(std::span<const Individual> pop) {
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < pop.size(); ++p) {
+    bool dominated = false;
+    for (std::size_t q = 0; q < pop.size() && !dominated; ++q) {
+      if (q != p && constrained_dominates(pop[q], pop[p])) dominated = true;
+    }
+    if (!dominated) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rmp::moo

@@ -1,0 +1,41 @@
+// Pareto dominance, constrained domination, fast non-dominated sorting and
+// crowding-distance assignment (Deb et al., NSGA-II, IEEE TEC 2002).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "moo/individual.hpp"
+
+namespace rmp::moo {
+
+/// Plain Pareto dominance on objective vectors: a dominates b iff a is no
+/// worse in every coordinate and strictly better in at least one.
+[[nodiscard]] bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// Deb's constrained domination:
+///  * feasible dominates infeasible,
+///  * between two infeasibles the smaller violation dominates,
+///  * between two feasibles plain Pareto dominance applies.
+[[nodiscard]] bool constrained_dominates(const Individual& a, const Individual& b);
+
+/// Fast non-dominated sort.  Assigns `rank` on each individual (0 = best
+/// front) and returns the fronts as index lists into `pop`.
+std::vector<std::vector<std::size_t>> fast_nondominated_sort(
+    std::span<Individual> pop);
+
+/// Assigns crowding distance to the individuals of one front (indices into
+/// `pop`).  Boundary individuals receive kInfiniteCrowding.
+void assign_crowding_distance(std::span<Individual> pop,
+                              std::span<const std::size_t> front);
+
+/// Crowded-comparison: lower rank wins; ties broken by larger crowding.
+[[nodiscard]] bool crowded_less(const Individual& a, const Individual& b);
+
+/// Extracts indices of the non-dominated, feasible-first subset of `pop`
+/// under constrained domination (the "front 0" filter used to pick
+/// migrants and to build result fronts).
+[[nodiscard]] std::vector<std::size_t> nondominated_indices(
+    std::span<const Individual> pop);
+
+}  // namespace rmp::moo

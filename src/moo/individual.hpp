@@ -1,0 +1,25 @@
+// A candidate solution as it flows through the evolutionary machinery.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "numeric/vec.hpp"
+
+namespace rmp::moo {
+
+struct Individual {
+  num::Vec x;          ///< decision vector
+  num::Vec f;          ///< objective vector (all minimized)
+  double violation = 0.0;  ///< constraint violation, 0 = feasible
+
+  // Populated by the non-dominated sorting pass.
+  std::size_t rank = 0;
+  double crowding = 0.0;
+
+  [[nodiscard]] bool feasible() const { return violation <= 0.0; }
+};
+
+inline constexpr double kInfiniteCrowding = std::numeric_limits<double>::infinity();
+
+}  // namespace rmp::moo

@@ -1,0 +1,134 @@
+#include "moo/nsga2.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "moo/dominance.hpp"
+
+namespace rmp::moo {
+
+Nsga2::Nsga2(const Problem& problem, Nsga2Options options)
+    : problem_(problem), opts_(options), rng_(options.seed) {
+  assert(opts_.population_size >= 4);
+  // Even population keeps the pairwise mating loop simple.
+  if (opts_.population_size % 2 != 0) ++opts_.population_size;
+}
+
+void Nsga2::evaluate(Individual& ind) {
+  ind.f.assign(problem_.num_objectives(), 0.0);
+  ind.violation = problem_.evaluate(ind.x, ind.f);
+  ++evaluations_;
+}
+
+void Nsga2::initialize() {
+  pop_.clear();
+  pop_.reserve(opts_.population_size);
+  evaluations_ = 0;
+
+  const auto lo = problem_.lower_bounds();
+  const auto hi = problem_.upper_bounds();
+  const std::size_t n = problem_.num_variables();
+
+  // Problem-suggested seeds (e.g. the natural leaf partition) first.
+  const auto max_seeded = static_cast<std::size_t>(
+      opts_.seeded_fraction * static_cast<double>(opts_.population_size));
+  if (max_seeded > 0) {
+    std::vector<num::Vec> seeds(max_seeded);
+    const std::size_t got = problem_.suggest_initial(seeds, rng_);
+    for (std::size_t s = 0; s < got; ++s) {
+      Individual ind;
+      ind.x = std::move(seeds[s]);
+      ind.x.resize(n);
+      num::clamp_inplace(ind.x, lo, hi);
+      evaluate(ind);
+      pop_.push_back(std::move(ind));
+    }
+  }
+
+  while (pop_.size() < opts_.population_size) {
+    Individual ind;
+    ind.x.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ind.x[i] = rng_.uniform(lo[i], hi[i]);
+    problem_.repair(ind.x);
+    num::clamp_inplace(ind.x, lo, hi);
+    evaluate(ind);
+    pop_.push_back(std::move(ind));
+  }
+
+  const auto fronts = fast_nondominated_sort(pop_);
+  for (const auto& front : fronts) assign_crowding_distance(pop_, front);
+}
+
+void Nsga2::step() {
+  const auto lo = problem_.lower_bounds();
+  const auto hi = problem_.upper_bounds();
+
+  std::vector<Individual> merged;
+  merged.reserve(2 * opts_.population_size);
+  merged = pop_;
+
+  num::Vec c1, c2;
+  for (std::size_t pair = 0; pair < opts_.population_size / 2; ++pair) {
+    const Individual& p1 = pop_[binary_tournament(pop_, rng_)];
+    const Individual& p2 = pop_[binary_tournament(pop_, rng_)];
+    sbx_crossover(p1.x, p2.x, lo, hi, opts_.variation.crossover_probability,
+                  opts_.variation.crossover_eta, rng_, c1, c2);
+    for (num::Vec* child : {&c1, &c2}) {
+      polynomial_mutation(*child, lo, hi, opts_.variation.mutation_probability,
+                          opts_.variation.mutation_eta, rng_);
+      problem_.repair(*child);
+      num::clamp_inplace(*child, lo, hi);
+      Individual ind;
+      ind.x = *child;
+      evaluate(ind);
+      merged.push_back(std::move(ind));
+    }
+  }
+
+  select_survivors(merged);
+}
+
+void Nsga2::select_survivors(std::vector<Individual>& merged) {
+  const auto fronts = fast_nondominated_sort(merged);
+  for (const auto& front : fronts) assign_crowding_distance(merged, front);
+
+  std::vector<Individual> next;
+  next.reserve(opts_.population_size);
+  for (const auto& front : fronts) {
+    if (next.size() + front.size() <= opts_.population_size) {
+      for (std::size_t idx : front) next.push_back(std::move(merged[idx]));
+    } else {
+      std::vector<std::size_t> sorted(front.begin(), front.end());
+      std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+        return merged[a].crowding > merged[b].crowding;
+      });
+      for (std::size_t idx : sorted) {
+        if (next.size() == opts_.population_size) break;
+        next.push_back(std::move(merged[idx]));
+      }
+    }
+    if (next.size() == opts_.population_size) break;
+  }
+  pop_ = std::move(next);
+}
+
+void Nsga2::inject(std::span<const Individual> immigrants) {
+  if (immigrants.empty() || pop_.empty()) return;
+
+  // Replace the crowded-comparison-worst residents with the immigrants.
+  std::vector<std::size_t> order(pop_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return crowded_less(pop_[a], pop_[b]);  // best first
+  });
+
+  const std::size_t count = std::min(immigrants.size(), pop_.size());
+  for (std::size_t k = 0; k < count; ++k) {
+    pop_[order[order.size() - 1 - k]] = immigrants[k];
+  }
+
+  const auto fronts = fast_nondominated_sort(pop_);
+  for (const auto& front : fronts) assign_crowding_distance(pop_, front);
+}
+
+}  // namespace rmp::moo

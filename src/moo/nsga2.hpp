@@ -1,0 +1,50 @@
+// NSGA-II (Deb, Pratap, Agarwal, Meyarivan, IEEE TEC 2002) with Deb's
+// constrained-domination rule — the engine the paper runs on every PMO2
+// island.
+#pragma once
+
+#include <span>
+
+#include "moo/algorithm.hpp"
+#include "moo/operators.hpp"
+#include "numeric/rng.hpp"
+
+namespace rmp::moo {
+
+struct Nsga2Options {
+  std::size_t population_size = 100;
+  VariationParams variation;
+  std::uint64_t seed = 1;
+  /// Fraction of the initial population taken from Problem::suggest_initial.
+  double seeded_fraction = 0.1;
+};
+
+class Nsga2 final : public Algorithm {
+ public:
+  Nsga2(const Problem& problem, Nsga2Options options);
+
+  void initialize() override;
+  void step() override;
+  [[nodiscard]] std::span<const Individual> population() const override {
+    return pop_;
+  }
+  void inject(std::span<const Individual> immigrants) override;
+  [[nodiscard]] std::size_t evaluations() const override { return evaluations_; }
+  [[nodiscard]] std::string name() const override { return "NSGA-II"; }
+
+  [[nodiscard]] const Nsga2Options& options() const { return opts_; }
+
+ private:
+  void evaluate(Individual& ind);
+  /// Environmental selection: sorts `merged` and keeps the best
+  /// population_size individuals into pop_.
+  void select_survivors(std::vector<Individual>& merged);
+
+  const Problem& problem_;
+  Nsga2Options opts_;
+  num::Rng rng_;
+  std::vector<Individual> pop_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace rmp::moo

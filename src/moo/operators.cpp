@@ -1,0 +1,102 @@
+#include "moo/operators.hpp"
+
+#include "moo/dominance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rmp::moo {
+
+namespace {
+
+/// SBX spread factor for one variable given bounds-normalized distance.
+double sbx_beta(double u, double alpha, double eta) {
+  if (u <= 1.0 / alpha) {
+    return std::pow(u * alpha, 1.0 / (eta + 1.0));
+  }
+  return std::pow(1.0 / (2.0 - u * alpha), 1.0 / (eta + 1.0));
+}
+
+}  // namespace
+
+void sbx_crossover(std::span<const double> p1, std::span<const double> p2,
+                   std::span<const double> lower, std::span<const double> upper,
+                   double probability, double eta, num::Rng& rng, num::Vec& c1,
+                   num::Vec& c2) {
+  const std::size_t n = p1.size();
+  assert(p2.size() == n && lower.size() == n && upper.size() == n);
+  c1.assign(p1.begin(), p1.end());
+  c2.assign(p2.begin(), p2.end());
+  if (!rng.bernoulli(probability)) return;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.bernoulli(0.5)) continue;
+    const double x1 = std::min(p1[i], p2[i]);
+    const double x2 = std::max(p1[i], p2[i]);
+    if (x2 - x1 < 1e-14) continue;
+    const double lo = lower[i];
+    const double hi = upper[i];
+
+    const double u = rng.uniform();
+
+    // Child 1 (toward the lower parent).
+    {
+      const double beta_bound = 1.0 + 2.0 * (x1 - lo) / (x2 - x1);
+      const double alpha = 2.0 - std::pow(beta_bound, -(eta + 1.0));
+      const double betaq = sbx_beta(u, alpha, eta);
+      c1[i] = std::clamp(0.5 * ((x1 + x2) - betaq * (x2 - x1)), lo, hi);
+    }
+    // Child 2 (toward the upper parent).
+    {
+      const double beta_bound = 1.0 + 2.0 * (hi - x2) / (x2 - x1);
+      const double alpha = 2.0 - std::pow(beta_bound, -(eta + 1.0));
+      const double betaq = sbx_beta(u, alpha, eta);
+      c2[i] = std::clamp(0.5 * ((x1 + x2) + betaq * (x2 - x1)), lo, hi);
+    }
+    if (rng.bernoulli(0.5)) std::swap(c1[i], c2[i]);
+  }
+}
+
+void polynomial_mutation(num::Vec& x, std::span<const double> lower,
+                         std::span<const double> upper, double probability, double eta,
+                         num::Rng& rng) {
+  const std::size_t n = x.size();
+  assert(lower.size() == n && upper.size() == n);
+  const double pm = probability < 0.0 ? 1.0 / static_cast<double>(n) : probability;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.bernoulli(pm)) continue;
+    const double lo = lower[i];
+    const double hi = upper[i];
+    const double range = hi - lo;
+    if (range <= 0.0) continue;
+
+    const double u = rng.uniform();
+    const double rel = (x[i] - lo) / range;
+    double delta;
+    if (u < 0.5) {
+      const double xy = 1.0 - rel;
+      const double val = 2.0 * u + (1.0 - 2.0 * u) * std::pow(xy, eta + 1.0);
+      delta = std::pow(val, 1.0 / (eta + 1.0)) - 1.0;
+    } else {
+      const double xy = rel;
+      const double val = 2.0 * (1.0 - u) + (2.0 * u - 1.0) * std::pow(xy, eta + 1.0);
+      delta = 1.0 - std::pow(val, 1.0 / (eta + 1.0));
+    }
+    x[i] = std::clamp(x[i] + delta * range, lo, hi);
+  }
+}
+
+std::size_t binary_tournament(std::span<const Individual> pop, num::Rng& rng) {
+  assert(!pop.empty());
+  const std::size_t a = rng.uniform_index(pop.size());
+  const std::size_t b = rng.uniform_index(pop.size());
+  if (constrained_dominates(pop[a], pop[b])) return a;
+  if (constrained_dominates(pop[b], pop[a])) return b;
+  if (crowded_less(pop[a], pop[b])) return a;
+  if (crowded_less(pop[b], pop[a])) return b;
+  return rng.bernoulli(0.5) ? a : b;
+}
+
+}  // namespace rmp::moo

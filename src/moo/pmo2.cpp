@@ -1,0 +1,101 @@
+#include "moo/pmo2.hpp"
+
+#include <cassert>
+
+#include "moo/dominance.hpp"
+#include "moo/nsga2.hpp"
+
+namespace rmp::moo {
+
+Pmo2::AlgorithmFactory Pmo2::default_nsga2_factory(std::size_t population_per_island) {
+  return [population_per_island](const Problem& problem, std::uint64_t seed,
+                                 std::size_t island_index) {
+    Nsga2Options o;
+    o.population_size = population_per_island;
+    o.seed = seed;
+    // "Different settings of the same optimization algorithm": odd islands
+    // explore more aggressively (coarser SBX / stronger mutation), even
+    // islands exploit.
+    if (island_index % 2 == 1) {
+      o.variation.crossover_eta = 5.0;
+      o.variation.mutation_eta = 10.0;
+    }
+    return std::make_unique<Nsga2>(problem, o);
+  };
+}
+
+Pmo2::Pmo2(const Problem& problem, Pmo2Options options, AlgorithmFactory factory)
+    : problem_(problem),
+      opts_(options),
+      rng_(options.seed),
+      archive_(options.archive_capacity) {
+  assert(opts_.islands >= 1);
+  if (!factory) factory = default_nsga2_factory();
+  islands_.reserve(opts_.islands);
+  for (std::size_t i = 0; i < opts_.islands; ++i) {
+    islands_.push_back(factory(problem_, rng_.next_u64(), i));
+  }
+}
+
+void Pmo2::initialize() {
+  generation_ = 0;
+  migrations_ = 0;
+  archive_.clear();
+  for (auto& island : islands_) {
+    island->initialize();
+    archive_.offer_all(island->population());
+  }
+}
+
+void Pmo2::step() {
+  for (auto& island : islands_) {
+    island->step();
+    archive_.offer_all(island->population());
+  }
+  ++generation_;
+  if (opts_.migration_interval > 0 && generation_ % opts_.migration_interval == 0) {
+    migrate();
+  }
+}
+
+void Pmo2::run(const Observer& observer) {
+  initialize();
+  while (generation_ < opts_.generations) {
+    step();
+    if (observer) observer(generation_, *this);
+  }
+}
+
+void Pmo2::migrate() {
+  const auto edges = migration_edges(opts_.topology, islands_.size(), rng_,
+                                     opts_.random_topology_degree);
+  for (const auto& [from, to] : edges) {
+    if (!rng_.bernoulli(opts_.migration_probability)) continue;
+
+    const auto pop = islands_[from]->population();
+    if (pop.empty()) continue;
+
+    // Migrants: random picks among the source island's non-dominated set,
+    // spreading its building blocks into the target niche.
+    const std::vector<std::size_t> front = nondominated_indices(pop);
+    if (front.empty()) continue;
+
+    std::vector<Individual> migrants;
+    const std::size_t count = std::min(opts_.migrants_per_edge, front.size());
+    std::vector<std::size_t> picks(front.begin(), front.end());
+    rng_.shuffle(picks);
+    migrants.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) migrants.push_back(pop[picks[k]]);
+
+    islands_[to]->inject(migrants);
+    ++migrations_;
+  }
+}
+
+std::size_t Pmo2::evaluations() const {
+  std::size_t total = 0;
+  for (const auto& island : islands_) total += island->evaluations();
+  return total;
+}
+
+}  // namespace rmp::moo

@@ -1,0 +1,51 @@
+// Multi-objective problem abstraction.
+//
+// Every objective is MINIMIZED; problems whose natural formulation maximizes
+// (CO2 uptake, biomass, electron production) negate inside evaluate() and the
+// reporting layer flips the sign back.  Constraint handling follows Deb's
+// constrained-domination: evaluate() returns a scalar violation (0 when
+// feasible) and the sorting layer prefers smaller violations before comparing
+// objectives — this is exactly the "rewards less violating solutions" rule the
+// paper applies to the Geobacter steady-state constraint.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "numeric/rng.hpp"
+#include "numeric/vec.hpp"
+
+namespace rmp::moo {
+
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  [[nodiscard]] virtual std::size_t num_variables() const = 0;
+  [[nodiscard]] virtual std::size_t num_objectives() const = 0;
+  [[nodiscard]] virtual std::span<const double> lower_bounds() const = 0;
+  [[nodiscard]] virtual std::span<const double> upper_bounds() const = 0;
+
+  /// Computes the objective vector for decision vector `x` (objectives is
+  /// pre-sized to num_objectives()) and returns the scalar constraint
+  /// violation, 0.0 when feasible.  Must be safe to call concurrently.
+  virtual double evaluate(std::span<const double> x,
+                          std::span<double> objectives) const = 0;
+
+  [[nodiscard]] virtual std::string name() const { return "problem"; }
+
+  /// Optional projection of a candidate back into an easier-to-search
+  /// subspace (e.g. null-space repair of flux vectors).  Default: clamp to
+  /// the box only, performed by the caller; this hook may do more.
+  virtual void repair(num::Vec& /*x*/) const {}
+
+  /// Optional problem-specific seeding of part of the initial population
+  /// (e.g. the natural leaf enzyme partition, an FBA vertex).  Returns the
+  /// number of suggested starting points written (at most `max_points`).
+  virtual std::size_t suggest_initial(std::span<num::Vec> /*out*/,
+                                      num::Rng& /*rng*/) const {
+    return 0;
+  }
+};
+
+}  // namespace rmp::moo

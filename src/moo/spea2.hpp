@@ -1,0 +1,51 @@
+// SPEA2 (Zitzler, Laumanns & Thiele, 2001) — strength-Pareto evolutionary
+// algorithm with an internal archive, fitness = raw dominated-strength +
+// k-nearest-neighbor density, and truncation that preserves boundary
+// solutions.  A third engine for heterogeneous PMO2 archipelagos.
+#pragma once
+
+#include <span>
+
+#include "moo/algorithm.hpp"
+#include "moo/operators.hpp"
+#include "numeric/rng.hpp"
+
+namespace rmp::moo {
+
+struct Spea2Options {
+  std::size_t population_size = 100;
+  std::size_t archive_size = 100;
+  VariationParams variation;
+  std::uint64_t seed = 1;
+  double violation_penalty = 1e6;  ///< added to fitness per unit violation
+};
+
+class Spea2 final : public Algorithm {
+ public:
+  Spea2(const Problem& problem, Spea2Options options);
+
+  void initialize() override;
+  void step() override;
+  /// The environmental archive (SPEA2's result set).
+  [[nodiscard]] std::span<const Individual> population() const override {
+    return archive_;
+  }
+  void inject(std::span<const Individual> immigrants) override;
+  [[nodiscard]] std::size_t evaluations() const override { return evaluations_; }
+  [[nodiscard]] std::string name() const override { return "SPEA2"; }
+
+ private:
+  void evaluate(Individual& ind);
+  /// SPEA2 fitness over pop+archive; lower is better; < 1 means non-dominated.
+  [[nodiscard]] std::vector<double> fitness(std::span<const Individual> all) const;
+  void environmental_selection(std::vector<Individual>& all);
+
+  const Problem& problem_;
+  Spea2Options opts_;
+  num::Rng rng_;
+  std::vector<Individual> pop_;
+  std::vector<Individual> archive_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace rmp::moo

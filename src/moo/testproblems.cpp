@@ -1,0 +1,138 @@
+#include "moo/testproblems.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace rmp::moo {
+
+BoxProblem::BoxProblem(std::size_t n_vars, std::size_t n_objs, double lo, double hi,
+                       std::string name)
+    : lower_(n_vars, lo), upper_(n_vars, hi), n_objs_(n_objs), name_(std::move(name)) {}
+
+BoxProblem::BoxProblem(num::Vec lower, num::Vec upper, std::size_t n_objs,
+                       std::string name)
+    : lower_(std::move(lower)),
+      upper_(std::move(upper)),
+      n_objs_(n_objs),
+      name_(std::move(name)) {
+  assert(lower_.size() == upper_.size());
+}
+
+namespace {
+
+double zdt_g(std::span<const double> x) {
+  double s = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) s += x[i];
+  return 1.0 + 9.0 * s / static_cast<double>(x.size() - 1);
+}
+
+}  // namespace
+
+double Zdt1::evaluate(std::span<const double> x, std::span<double> f) const {
+  const double g = zdt_g(x);
+  f[0] = x[0];
+  f[1] = g * (1.0 - std::sqrt(x[0] / g));
+  return 0.0;
+}
+
+double Zdt2::evaluate(std::span<const double> x, std::span<double> f) const {
+  const double g = zdt_g(x);
+  f[0] = x[0];
+  f[1] = g * (1.0 - (x[0] / g) * (x[0] / g));
+  return 0.0;
+}
+
+double Zdt3::evaluate(std::span<const double> x, std::span<double> f) const {
+  const double g = zdt_g(x);
+  f[0] = x[0];
+  f[1] = g * (1.0 - std::sqrt(x[0] / g) -
+              x[0] / g * std::sin(10.0 * std::numbers::pi * x[0]));
+  return 0.0;
+}
+
+Zdt4::Zdt4(std::size_t n) : BoxProblem(n, 2, -5.0, 5.0, "ZDT4") {
+  lower_[0] = 0.0;
+  upper_[0] = 1.0;
+}
+
+double Zdt4::evaluate(std::span<const double> x, std::span<double> f) const {
+  double g = 1.0 + 10.0 * static_cast<double>(x.size() - 1);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    g += x[i] * x[i] - 10.0 * std::cos(4.0 * std::numbers::pi * x[i]);
+  }
+  f[0] = x[0];
+  f[1] = g * (1.0 - std::sqrt(x[0] / g));
+  return 0.0;
+}
+
+double Zdt6::evaluate(std::span<const double> x, std::span<double> f) const {
+  const double f1 = 1.0 - std::exp(-4.0 * x[0]) *
+                              std::pow(std::sin(6.0 * std::numbers::pi * x[0]), 6.0);
+  double s = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) s += x[i];
+  const double g =
+      1.0 + 9.0 * std::pow(s / static_cast<double>(x.size() - 1), 0.25);
+  f[0] = f1;
+  f[1] = g * (1.0 - (f1 / g) * (f1 / g));
+  return 0.0;
+}
+
+Dtlz2::Dtlz2(std::size_t n, std::size_t m) : BoxProblem(n, m, 0.0, 1.0, "DTLZ2") {
+  assert(n >= m);
+}
+
+double Dtlz2::evaluate(std::span<const double> x, std::span<double> f) const {
+  const std::size_t m = n_objs_;
+  const std::size_t k = x.size() - m + 1;
+  double g = 0.0;
+  for (std::size_t i = x.size() - k; i < x.size(); ++i) {
+    const double d = x[i] - 0.5;
+    g += d * d;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    double v = 1.0 + g;
+    for (std::size_t j = 0; j < m - 1 - i; ++j) {
+      v *= std::cos(x[j] * std::numbers::pi / 2.0);
+    }
+    if (i > 0) v *= std::sin(x[m - 1 - i] * std::numbers::pi / 2.0);
+    f[i] = v;
+  }
+  return 0.0;
+}
+
+double Schaffer::evaluate(std::span<const double> x, std::span<double> f) const {
+  f[0] = x[0] * x[0];
+  f[1] = (x[0] - 2.0) * (x[0] - 2.0);
+  return 0.0;
+}
+
+double Kursawe::evaluate(std::span<const double> x, std::span<double> f) const {
+  double f1 = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    f1 += -10.0 * std::exp(-0.2 * std::sqrt(x[i] * x[i] + x[i + 1] * x[i + 1]));
+  }
+  double f2 = 0.0;
+  for (double xi : x) {
+    f2 += std::pow(std::fabs(xi), 0.8) + 5.0 * std::sin(xi * xi * xi);
+  }
+  f[0] = f1;
+  f[1] = f2;
+  return 0.0;
+}
+
+BinhKorn::BinhKorn() : BoxProblem({0.0, 0.0}, {5.0, 3.0}, 2, "Binh-Korn") {}
+
+double BinhKorn::evaluate(std::span<const double> x, std::span<double> f) const {
+  f[0] = 4.0 * x[0] * x[0] + 4.0 * x[1] * x[1];
+  f[1] = (x[0] - 5.0) * (x[0] - 5.0) + (x[1] - 5.0) * (x[1] - 5.0);
+  // g1: (x0-5)^2 + x1^2 <= 25 ; g2: (x0-8)^2 + (x1+3)^2 >= 7.7
+  const double g1 = (x[0] - 5.0) * (x[0] - 5.0) + x[1] * x[1] - 25.0;
+  const double g2 = 7.7 - ((x[0] - 8.0) * (x[0] - 8.0) + (x[1] + 3.0) * (x[1] + 3.0));
+  double violation = 0.0;
+  if (g1 > 0.0) violation += g1;
+  if (g2 > 0.0) violation += g2;
+  return violation;
+}
+
+}  // namespace rmp::moo

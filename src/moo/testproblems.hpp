@@ -1,0 +1,96 @@
+// Standard multi-objective benchmark problems (ZDT, DTLZ, Schaffer, Kursawe,
+// Binh-Korn) used to validate the optimizers and in the algorithm ablations.
+// All are minimization problems with known Pareto fronts.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "moo/problem.hpp"
+
+namespace rmp::moo {
+
+/// Common storage for box-constrained analytic problems.
+class BoxProblem : public Problem {
+ public:
+  BoxProblem(std::size_t n_vars, std::size_t n_objs, double lo, double hi,
+             std::string name);
+  BoxProblem(num::Vec lower, num::Vec upper, std::size_t n_objs, std::string name);
+
+  [[nodiscard]] std::size_t num_variables() const override { return lower_.size(); }
+  [[nodiscard]] std::size_t num_objectives() const override { return n_objs_; }
+  [[nodiscard]] std::span<const double> lower_bounds() const override { return lower_; }
+  [[nodiscard]] std::span<const double> upper_bounds() const override { return upper_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ protected:
+  num::Vec lower_, upper_;
+  std::size_t n_objs_;
+  std::string name_;
+};
+
+/// ZDT1: convex front, f2 = 1 - sqrt(f1) at g = 1.
+class Zdt1 final : public BoxProblem {
+ public:
+  explicit Zdt1(std::size_t n = 30) : BoxProblem(n, 2, 0.0, 1.0, "ZDT1") {}
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+/// ZDT2: non-convex front, f2 = 1 - f1^2.
+class Zdt2 final : public BoxProblem {
+ public:
+  explicit Zdt2(std::size_t n = 30) : BoxProblem(n, 2, 0.0, 1.0, "ZDT2") {}
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+/// ZDT3: disconnected front.
+class Zdt3 final : public BoxProblem {
+ public:
+  explicit Zdt3(std::size_t n = 30) : BoxProblem(n, 2, 0.0, 1.0, "ZDT3") {}
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+/// ZDT4: 21^9 local fronts (multi-modal g).
+class Zdt4 final : public BoxProblem {
+ public:
+  explicit Zdt4(std::size_t n = 10);
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+/// ZDT6: non-uniform density along a non-convex front.
+class Zdt6 final : public BoxProblem {
+ public:
+  explicit Zdt6(std::size_t n = 10) : BoxProblem(n, 2, 0.0, 1.0, "ZDT6") {}
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+/// DTLZ2 with m objectives: spherical front sum f_i^2 = 1.
+class Dtlz2 final : public BoxProblem {
+ public:
+  explicit Dtlz2(std::size_t n = 12, std::size_t m = 3);
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+/// Schaffer's single-variable problem: f1 = x^2, f2 = (x-2)^2.
+class Schaffer final : public BoxProblem {
+ public:
+  Schaffer() : BoxProblem(1, 2, -1e3, 1e3, "Schaffer") {}
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+/// Kursawe's problem: disconnected, non-convex front, n = 3.
+class Kursawe final : public BoxProblem {
+ public:
+  Kursawe() : BoxProblem(3, 2, -5.0, 5.0, "Kursawe") {}
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+/// Binh-Korn constrained problem (two inequality constraints) — exercises
+/// the constrained-domination path.
+class BinhKorn final : public BoxProblem {
+ public:
+  BinhKorn();
+  double evaluate(std::span<const double> x, std::span<double> f) const override;
+};
+
+}  // namespace rmp::moo

@@ -1,0 +1,55 @@
+#include "moo/topology.hpp"
+
+#include <algorithm>
+
+namespace rmp::moo {
+
+std::string to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kAllToAll: return "all-to-all";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> migration_edges(TopologyKind kind,
+                                                                 std::size_t islands,
+                                                                 num::Rng& rng,
+                                                                 std::size_t random_degree) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (islands < 2) return edges;
+
+  switch (kind) {
+    case TopologyKind::kAllToAll:
+      for (std::size_t i = 0; i < islands; ++i)
+        for (std::size_t j = 0; j < islands; ++j)
+          if (i != j) edges.emplace_back(i, j);
+      break;
+    case TopologyKind::kRing:
+      for (std::size_t i = 0; i < islands; ++i) edges.emplace_back(i, (i + 1) % islands);
+      break;
+    case TopologyKind::kStar:
+      for (std::size_t i = 1; i < islands; ++i) {
+        edges.emplace_back(0, i);
+        edges.emplace_back(i, 0);
+      }
+      break;
+    case TopologyKind::kRandom: {
+      const std::size_t degree = std::min(random_degree, islands - 1);
+      for (std::size_t i = 0; i < islands; ++i) {
+        std::vector<std::size_t> others;
+        others.reserve(islands - 1);
+        for (std::size_t j = 0; j < islands; ++j)
+          if (j != i) others.push_back(j);
+        rng.shuffle(others);
+        for (std::size_t k = 0; k < degree; ++k) edges.emplace_back(i, others[k]);
+      }
+      break;
+    }
+  }
+  return edges;
+}
+
+}  // namespace rmp::moo

@@ -1,0 +1,30 @@
+// Archipelago topologies: which islands send migrants to which.
+//
+// The paper's adopted configuration is two islands with an all-to-all
+// (broadcast) scheme, but notes that "different topology choices can raise to
+// completely different overall solutions"; the ablation benches sweep these.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "numeric/rng.hpp"
+
+namespace rmp::moo {
+
+enum class TopologyKind {
+  kAllToAll,  ///< broadcast: every island sends to every other (paper default)
+  kRing,      ///< island i sends to island (i+1) mod N
+  kStar,      ///< island 0 is the hub; spokes exchange with the hub only
+  kRandom,    ///< each island sends to k random distinct others (re-drawn per call)
+};
+
+[[nodiscard]] std::string to_string(TopologyKind k);
+
+/// Edge list (from -> to) for one migration event over `islands` islands.
+/// Deterministic for all kinds except kRandom, which consumes `rng`.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> migration_edges(
+    TopologyKind kind, std::size_t islands, num::Rng& rng, std::size_t random_degree = 1);
+
+}  // namespace rmp::moo

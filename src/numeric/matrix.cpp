@@ -1,0 +1,236 @@
+#include "numeric/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rmp::num {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::multiply(std::span<const double> x, Vec& y) const {
+  assert(x.size() == cols_);
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+Vec Matrix::multiply(std::span<const double> x) const {
+  Vec y;
+  multiply(x, y);
+  return y;
+}
+
+void Matrix::multiply_transposed(std::span<const double> x, Vec& y) const {
+  assert(x.size() == rows_);
+  y.assign(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+  }
+}
+
+Vec Matrix::multiply_transposed(std::span<const double> x) const {
+  Vec y;
+  multiply_transposed(x, y);
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& b) const {
+  assert(cols_ == b.rows());
+  Matrix c(rows_, b.cols(), 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data_.data() + k * b.cols_;
+      double* crow = c.data_.data() + i * c.cols_;
+      for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+std::optional<LuFactorization> LuFactorization::compute(const Matrix& a,
+                                                        double pivot_tol) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  LuFactorization f;
+  f.lu_ = a;
+  f.perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t piv = k;
+    double best = std::fabs(f.lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(f.lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best <= pivot_tol) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(f.lu_(k, c), f.lu_(piv, c));
+      std::swap(f.perm_[k], f.perm_[piv]);
+      f.sign_ = -f.sign_;
+    }
+    const double inv_piv = 1.0 / f.lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = f.lu_(r, k) * inv_piv;
+      f.lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) f.lu_(r, c) -= m * f.lu_(k, c);
+    }
+  }
+  return f;
+}
+
+Vec LuFactorization::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vec x(n);
+  // Apply permutation and forward-substitute L (unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back-substitute U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::optional<Vec> solve_linear(const Matrix& a, std::span<const double> b,
+                                double pivot_tol) {
+  auto f = LuFactorization::compute(a, pivot_tol);
+  if (!f) return std::nullopt;
+  return f->solve(b);
+}
+
+RowEchelon row_reduce(Matrix a, double tol) {
+  RowEchelon out;
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols && pivot_row < rows; ++col) {
+    // Find pivot in this column at or below pivot_row.
+    std::size_t best_row = pivot_row;
+    double best = std::fabs(a(pivot_row, col));
+    for (std::size_t r = pivot_row + 1; r < rows; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        best_row = r;
+      }
+    }
+    if (best <= tol) continue;
+    if (best_row != pivot_row) {
+      for (std::size_t c = 0; c < cols; ++c)
+        std::swap(a(pivot_row, c), a(best_row, c));
+    }
+    const double inv = 1.0 / a(pivot_row, col);
+    for (std::size_t c = col; c < cols; ++c) a(pivot_row, c) *= inv;
+    a(pivot_row, col) = 1.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == pivot_row) continue;
+      const double m = a(r, col);
+      if (m == 0.0) continue;
+      for (std::size_t c = col; c < cols; ++c) a(r, c) -= m * a(pivot_row, c);
+      a(r, col) = 0.0;
+    }
+    out.pivots.push_back(col);
+    ++pivot_row;
+  }
+  out.rank = pivot_row;
+  out.reduced = std::move(a);
+  return out;
+}
+
+Matrix nullspace_basis(const Matrix& a, double tol) {
+  const RowEchelon re = row_reduce(a, tol);
+  const std::size_t cols = a.cols();
+  std::vector<bool> is_pivot(cols, false);
+  for (std::size_t p : re.pivots) is_pivot[p] = true;
+
+  std::vector<std::size_t> free_cols;
+  for (std::size_t c = 0; c < cols; ++c)
+    if (!is_pivot[c]) free_cols.push_back(c);
+
+  Matrix basis(cols, free_cols.size(), 0.0);
+  for (std::size_t k = 0; k < free_cols.size(); ++k) {
+    const std::size_t fc = free_cols[k];
+    basis(fc, k) = 1.0;
+    // Pivot variable values: x_pivot = -R(pivot_row, free_col).
+    for (std::size_t pr = 0; pr < re.pivots.size(); ++pr) {
+      basis(re.pivots[pr], k) = -re.reduced(pr, fc);
+    }
+  }
+  return basis;
+}
+
+Matrix orthonormalize_columns(const Matrix& a, double tol) {
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  std::vector<Vec> basis;
+  basis.reserve(cols);
+
+  Vec v(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) v[r] = a(r, c);
+    // Modified Gram-Schmidt: subtract projections sequentially.
+    for (const Vec& q : basis) {
+      const double proj = dot(v, q);
+      axpy(v, -proj, q);
+    }
+    const double n = norm2(v);
+    if (n > tol) {
+      Vec q = v;
+      scale_inplace(q, 1.0 / n);
+      basis.push_back(std::move(q));
+    }
+  }
+
+  Matrix out(rows, basis.size());
+  for (std::size_t c = 0; c < basis.size(); ++c) {
+    for (std::size_t r = 0; r < rows; ++r) out(r, c) = basis[c][r];
+  }
+  return out;
+}
+
+}  // namespace rmp::num

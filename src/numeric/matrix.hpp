@@ -1,0 +1,115 @@
+// Dense row-major matrix with the factorizations the library needs:
+// LU with partial pivoting (linear solves, determinants), and Gaussian
+// elimination with full row reduction (rank, null-space basis — used to
+// parameterize the steady-state flux space of metabolic networks).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "numeric/vec.hpp"
+
+namespace rmp::num {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] const Vec& data() const { return data_; }
+  [[nodiscard]] Vec& data() { return data_; }
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// y = A * x (no aliasing between y and x).
+  void multiply(std::span<const double> x, Vec& y) const;
+  [[nodiscard]] Vec multiply(std::span<const double> x) const;
+
+  /// y = A^T * x.
+  void multiply_transposed(std::span<const double> x, Vec& y) const;
+  [[nodiscard]] Vec multiply_transposed(std::span<const double> x) const;
+
+  /// C = A * B.
+  [[nodiscard]] Matrix multiply(const Matrix& b) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vec data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Usable for repeated solves against the same matrix.
+class LuFactorization {
+ public:
+  /// Factors `a`; returns std::nullopt when the matrix is (numerically)
+  /// singular relative to `pivot_tol`.
+  [[nodiscard]] static std::optional<LuFactorization> compute(const Matrix& a,
+                                                              double pivot_tol = 1e-12);
+
+  /// Solves A x = b.
+  [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+  /// Determinant of the factored matrix.
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+/// Convenience: solve A x = b once; nullopt if singular.
+[[nodiscard]] std::optional<Vec> solve_linear(const Matrix& a, std::span<const double> b,
+                                              double pivot_tol = 1e-12);
+
+/// Result of row-reducing a (possibly rectangular) matrix.
+struct RowEchelon {
+  Matrix reduced;                    ///< reduced row-echelon form
+  std::vector<std::size_t> pivots;   ///< pivot column of each pivot row
+  std::size_t rank = 0;
+};
+
+/// Gauss–Jordan reduction with partial pivoting; `tol` decides rank.
+[[nodiscard]] RowEchelon row_reduce(Matrix a, double tol = 1e-10);
+
+/// Orthonormal-free null-space basis of A (columns are basis vectors of
+/// {x : A x = 0}), built from the reduced row-echelon form.  The basis has
+/// cols(A) - rank(A) columns.
+[[nodiscard]] Matrix nullspace_basis(const Matrix& a, double tol = 1e-10);
+
+/// Modified Gram-Schmidt orthonormalization of the columns of `a`; columns
+/// that become (numerically) zero are dropped.  Returns the orthonormal
+/// basis as columns.
+[[nodiscard]] Matrix orthonormalize_columns(const Matrix& a, double tol = 1e-10);
+
+}  // namespace rmp::num

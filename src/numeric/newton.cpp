@@ -1,0 +1,155 @@
+#include "numeric/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numeric/matrix.hpp"
+
+namespace rmp::num {
+
+namespace {
+
+Matrix jacobian(const NonlinearSystem& f, std::span<const double> x, const Vec& fx,
+                double eps) {
+  const std::size_t n = x.size();
+  Matrix j(n, n);
+  Vec xp(x.begin(), x.end());
+  Vec fp(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double h = eps * std::max(1.0, std::fabs(x[c]));
+    const double saved = xp[c];
+    xp[c] = saved + h;
+    fp.assign(n, 0.0);
+    f(xp, fp);
+    xp[c] = saved;
+    const double inv_h = 1.0 / h;
+    for (std::size_t r = 0; r < n; ++r) j(r, c) = (fp[r] - fx[r]) * inv_h;
+  }
+  return j;
+}
+
+void floor_state(Vec& x, double floor) {
+  if (floor <= -1e299) return;
+  for (double& v : x) v = std::max(v, floor);
+}
+
+}  // namespace
+
+NewtonResult solve_newton(const NonlinearSystem& f, std::span<const double> x0,
+                          const NewtonOptions& opts) {
+  NewtonResult res;
+  res.x.assign(x0.begin(), x0.end());
+  floor_state(res.x, opts.state_floor);
+  const std::size_t n = res.x.size();
+
+  Vec fx(n), trial(n), ftrial(n);
+  f(res.x, fx);
+  res.residual_norm = norm_inf(fx);
+
+  for (res.iterations = 0; res.iterations < opts.max_iterations; ++res.iterations) {
+    if (res.residual_norm <= opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    const Matrix j = jacobian(f, res.x, fx, opts.jacobian_eps);
+    auto lu = LuFactorization::compute(j);
+    if (!lu) return res;  // singular Jacobian: give up, caller falls back
+    const Vec step = lu->solve(fx);
+    if (!all_finite(step)) return res;
+
+    // Backtracking: accept the largest damping that reduces ||F||.
+    bool accepted = false;
+    for (double damping = 1.0; damping >= opts.min_damping; damping *= 0.5) {
+      trial = res.x;
+      axpy(trial, -damping, step);
+      floor_state(trial, opts.state_floor);
+      ftrial.assign(n, 0.0);
+      f(trial, ftrial);
+      if (!all_finite(ftrial)) continue;
+      const double norm = norm_inf(ftrial);
+      if (norm < res.residual_norm) {
+        res.x = trial;
+        fx = ftrial;
+        res.residual_norm = norm;
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) return res;  // stuck in a non-descending region
+  }
+  res.converged = res.residual_norm <= opts.tolerance;
+  return res;
+}
+
+NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
+                                    std::span<const double> x0,
+                                    const PtcOptions& opts) {
+  NewtonResult res;
+  res.x.assign(x0.begin(), x0.end());
+  floor_state(res.x, opts.state_floor);
+  const std::size_t n = res.x.size();
+
+  Vec fx(n), trial(n), ftrial(n);
+  f(res.x, fx);
+  res.residual_norm = norm_inf(fx);
+  const double initial_norm = std::max(res.residual_norm, 1e-300);
+  double h = opts.initial_timestep;
+
+  // The flow x' = F(x) may orbit its equilibrium (kinetic oscillations), so
+  // the residual is NOT required to fall monotonically: every finite step is
+  // accepted and h follows the switched-evolution-relaxation rule
+  // h_k = h_0 * ||F_0|| / ||F_k||.  The best iterate seen is what's returned.
+  Vec best_x = res.x;
+  double best_norm = res.residual_norm;
+  double current_norm = res.residual_norm;
+
+  for (res.iterations = 0; res.iterations < opts.max_iterations; ++res.iterations) {
+    if (best_norm <= opts.tolerance) break;
+
+    // W = I/h - J; the step solves W dx = F (implicit Euler for x' = F).
+    Matrix w = jacobian(f, res.x, fx, opts.jacobian_eps);
+    const double inv_h = 1.0 / h;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) w(r, c) = -w(r, c);
+      w(r, r) += inv_h;
+    }
+    const auto lu = LuFactorization::compute(w);
+    bool ok = lu.has_value();
+    if (ok) {
+      const Vec step = lu->solve(fx);
+      ok = all_finite(step);
+      if (ok) {
+        trial = res.x;
+        add_inplace(trial, step);
+        floor_state(trial, opts.state_floor);
+        ftrial.assign(n, 0.0);
+        f(trial, ftrial);
+        ok = all_finite(ftrial);
+      }
+    }
+    if (!ok) {
+      h *= 0.25;
+      if (h < 1e-14) break;
+      continue;
+    }
+
+    res.x = trial;
+    fx = ftrial;
+    current_norm = norm_inf(fx);
+    if (current_norm < best_norm) {
+      best_norm = current_norm;
+      best_x = res.x;
+    }
+    h = std::clamp(opts.initial_timestep * initial_norm /
+                       std::max(current_norm, 1e-300),
+                   1e-12, opts.max_timestep);
+  }
+
+  res.x = std::move(best_x);
+  res.residual_norm = best_norm;
+  res.converged = best_norm <= opts.tolerance;
+  return res;
+}
+
+}  // namespace rmp::num

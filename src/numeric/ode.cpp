@@ -1,0 +1,456 @@
+#include "numeric/ode.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rmp::num {
+
+namespace {
+
+void apply_floor(Vec& y, double floor) {
+  if (floor <= -1e299) return;
+  for (double& v : y) v = std::max(v, floor);
+}
+
+/// Weighted RMS error norm used for adaptive step-size control.
+double error_norm(std::span<const double> err, std::span<const double> y0,
+                  std::span<const double> y1, double abs_tol, double rel_tol) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < err.size(); ++i) {
+    const double scale =
+        abs_tol + rel_tol * std::max(std::fabs(y0[i]), std::fabs(y1[i]));
+    const double e = err[i] / scale;
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(err.size()));
+}
+
+struct StepOutcome {
+  bool accepted = false;
+  double error = 0.0;  // scaled error (<= 1 means acceptable)
+};
+
+/// Generic embedded explicit Runge-Kutta stepper driven by a Butcher tableau.
+class EmbeddedRk {
+ public:
+  EmbeddedRk(std::size_t stages, const double* a, const double* b_high,
+             const double* b_low, const double* c, std::size_t order_low)
+      : stages_(stages), a_(a), b_high_(b_high), b_low_(b_low), c_(c),
+        order_low_(order_low) {}
+
+  [[nodiscard]] std::size_t order_low() const { return order_low_; }
+
+  /// One trial step from (t, y) with size h; fills y_new and err.
+  void trial(const OdeRhs& f, double t, const Vec& y, double h, Vec& y_new, Vec& err,
+             std::vector<Vec>& k, OdeResult& stats) const {
+    const std::size_t n = y.size();
+    if (k.size() != stages_) k.assign(stages_, Vec(n));
+    Vec y_stage(n);
+
+    for (std::size_t s = 0; s < stages_; ++s) {
+      y_stage = y;
+      for (std::size_t j = 0; j < s; ++j) {
+        const double aij = a_[s * stages_ + j];
+        if (aij != 0.0) axpy(y_stage, h * aij, k[j]);
+      }
+      k[s].assign(n, 0.0);
+      f(t + c_[s] * h, y_stage, k[s]);
+      ++stats.rhs_evals;
+    }
+
+    y_new = y;
+    err.assign(n, 0.0);
+    for (std::size_t s = 0; s < stages_; ++s) {
+      if (b_high_[s] != 0.0) axpy(y_new, h * b_high_[s], k[s]);
+      const double db = b_high_[s] - b_low_[s];
+      if (db != 0.0) axpy(err, h * db, k[s]);
+    }
+  }
+
+ private:
+  std::size_t stages_;
+  const double* a_;
+  const double* b_high_;
+  const double* b_low_;
+  const double* c_;
+  std::size_t order_low_;
+};
+
+// --- Cash-Karp 4(5) tableau -------------------------------------------------
+constexpr double kCkA[6 * 6] = {
+    0, 0, 0, 0, 0, 0,
+    1.0 / 5, 0, 0, 0, 0, 0,
+    3.0 / 40, 9.0 / 40, 0, 0, 0, 0,
+    3.0 / 10, -9.0 / 10, 6.0 / 5, 0, 0, 0,
+    -11.0 / 54, 5.0 / 2, -70.0 / 27, 35.0 / 27, 0, 0,
+    1631.0 / 55296, 175.0 / 512, 575.0 / 13824, 44275.0 / 110592, 253.0 / 4096, 0};
+constexpr double kCkB5[6] = {37.0 / 378, 0, 250.0 / 621, 125.0 / 594, 0, 512.0 / 1771};
+constexpr double kCkB4[6] = {2825.0 / 27648, 0,           18575.0 / 48384,
+                             13525.0 / 55296, 277.0 / 14336, 1.0 / 4};
+constexpr double kCkC[6] = {0, 1.0 / 5, 3.0 / 10, 3.0 / 5, 1.0, 7.0 / 8};
+
+// --- Dormand-Prince 5(4) tableau ---------------------------------------------
+constexpr double kDpA[7 * 7] = {
+    0, 0, 0, 0, 0, 0, 0,
+    1.0 / 5, 0, 0, 0, 0, 0, 0,
+    3.0 / 40, 9.0 / 40, 0, 0, 0, 0, 0,
+    44.0 / 45, -56.0 / 15, 32.0 / 9, 0, 0, 0, 0,
+    19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729, 0, 0, 0,
+    9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656, 0, 0,
+    35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0};
+constexpr double kDpB5[7] = {35.0 / 384, 0, 500.0 / 1113, 125.0 / 192,
+                             -2187.0 / 6784, 11.0 / 84, 0};
+constexpr double kDpB4[7] = {5179.0 / 57600,    0,          7571.0 / 16695, 393.0 / 640,
+                             -92097.0 / 339200, 187.0 / 2100, 1.0 / 40};
+constexpr double kDpC[7] = {0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
+
+OdeResult integrate_adaptive(const EmbeddedRk& rk, const OdeRhs& f, double t0,
+                             std::span<const double> y0, double t_end,
+                             const OdeOptions& opts) {
+  OdeResult res;
+  res.y.assign(y0.begin(), y0.end());
+  res.t = t0;
+
+  Vec y_new, err;
+  std::vector<Vec> k;
+  double h = std::clamp(opts.initial_step, opts.min_step, opts.max_step);
+  const double order = static_cast<double>(rk.order_low()) + 1.0;
+  const double exponent = 1.0 / order;
+
+  while (res.t < t_end && res.steps < opts.max_steps) {
+    h = std::min(h, t_end - res.t);
+    rk.trial(f, res.t, res.y, h, y_new, err, k, res);
+    const double en = error_norm(err, res.y, y_new, opts.abs_tol, opts.rel_tol);
+    const bool finite = all_finite(y_new);
+
+    if (en <= 1.0 && finite) {
+      res.t += h;
+      res.y = y_new;
+      apply_floor(res.y, opts.state_floor);
+      ++res.steps;
+      const double factor =
+          en > 0.0 ? std::clamp(0.9 * std::pow(en, -exponent), 0.2, 5.0) : 5.0;
+      h = std::clamp(h * factor, opts.min_step, opts.max_step);
+    } else {
+      ++res.rejected;
+      const double factor =
+          finite && en > 0.0 ? std::clamp(0.9 * std::pow(en, -exponent), 0.1, 0.9) : 0.1;
+      h *= factor;
+      if (h < opts.min_step) {
+        res.success = false;
+        return res;  // step size underflow: stiff beyond this method
+      }
+    }
+  }
+  res.success = res.t >= t_end;
+  return res;
+}
+
+OdeResult integrate_rk4(const OdeRhs& f, double t0, std::span<const double> y0,
+                        double t_end, const OdeOptions& opts) {
+  OdeResult res;
+  res.y.assign(y0.begin(), y0.end());
+  res.t = t0;
+  const std::size_t n = res.y.size();
+  Vec k1(n), k2(n), k3(n), k4(n), tmp(n);
+  const double h = std::clamp(opts.initial_step, opts.min_step, opts.max_step);
+
+  while (res.t < t_end && res.steps < opts.max_steps) {
+    const double step = std::min(h, t_end - res.t);
+    f(res.t, res.y, k1);
+    tmp = res.y;
+    axpy(tmp, 0.5 * step, k1);
+    f(res.t + 0.5 * step, tmp, k2);
+    tmp = res.y;
+    axpy(tmp, 0.5 * step, k2);
+    f(res.t + 0.5 * step, tmp, k3);
+    tmp = res.y;
+    axpy(tmp, step, k3);
+    f(res.t + step, tmp, k4);
+    res.rhs_evals += 4;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.y[i] += step / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    apply_floor(res.y, opts.state_floor);
+    res.t += step;
+    ++res.steps;
+    if (!all_finite(res.y)) {
+      res.success = false;
+      return res;
+    }
+  }
+  res.success = res.t >= t_end;
+  return res;
+}
+
+// One ROS2 step (Verwer's 2-stage, order-2, L-stable Rosenbrock) from (t, y)
+// with step h, using the supplied Jacobian.  Returns false when the linear
+// solve fails (singular W).
+bool ros2_step(const OdeRhs& f, double t, const Vec& y, double h, const Matrix& j,
+               Vec& y_new, OdeResult& stats) {
+  const std::size_t n = y.size();
+  const double gamma = 1.0 - 1.0 / std::sqrt(2.0);
+  Matrix w(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      w(r, c) = (r == c ? 1.0 : 0.0) - gamma * h * j(r, c);
+  const auto lu = LuFactorization::compute(w);
+  if (!lu) return false;
+
+  Vec f0(n, 0.0);
+  f(t, y, f0);
+  ++stats.rhs_evals;
+  const Vec k1 = lu->solve(f0);
+
+  Vec y1 = y;
+  axpy(y1, h, k1);
+  Vec f1(n, 0.0);
+  f(t + h, y1, f1);
+  ++stats.rhs_evals;
+  Vec rhs2(n);
+  for (std::size_t i = 0; i < n; ++i) rhs2[i] = f1[i] - 2.0 * k1[i];
+  const Vec k2 = lu->solve(rhs2);
+
+  y_new = y;
+  for (std::size_t i = 0; i < n; ++i) y_new[i] += h * (1.5 * k1[i] + 0.5 * k2[i]);
+  return true;
+}
+
+// Rosenbrock-W driver with step-doubling (Richardson) error control: the
+// naive embedded order-1 estimate of ROS2 is wildly pessimistic on stiff
+// components, so each step is compared against two half steps instead.
+//
+// ROS2's order-2 accuracy requires an autonomous system; time is therefore
+// appended as an extra state (Y = [y; t], dt/dt = 1), which also makes the
+// numeric Jacobian pick up the df/dt column for forced problems.
+OdeResult integrate_rosenbrock(const OdeRhs& f_user, double t0,
+                               std::span<const double> y0, double t_end,
+                               const OdeOptions& opts) {
+  const std::size_t n_user = y0.size();
+  const OdeRhs f = [&f_user, n_user](double, std::span<const double> y, Vec& d) {
+    // The last state is time itself.
+    thread_local Vec inner_d;
+    inner_d.assign(n_user, 0.0);
+    f_user(y[n_user], y.first(n_user), inner_d);
+    for (std::size_t i = 0; i < n_user; ++i) d[i] = inner_d[i];
+    d[n_user] = 1.0;
+  };
+
+  OdeResult res;
+  res.y.assign(y0.begin(), y0.end());
+  res.y.push_back(t0);
+  res.t = t0;
+  const std::size_t n = res.y.size();
+
+  Vec y_full(n), y_half(n), y_two(n), err(n);
+  double h = std::clamp(opts.initial_step, opts.min_step, opts.max_step);
+
+  while (res.t < t_end && res.steps < opts.max_steps) {
+    h = std::min(h, t_end - res.t);
+
+    const Matrix j = numeric_jacobian(f, res.t, res.y);
+    res.rhs_evals += n + 1;
+
+    const bool ok = ros2_step(f, res.t, res.y, h, j, y_full, res) &&
+                    ros2_step(f, res.t, res.y, 0.5 * h, j, y_half, res) &&
+                    ros2_step(f, res.t + 0.5 * h, y_half, 0.5 * h, j, y_two, res);
+    if (!ok) {
+      h *= 0.5;
+      ++res.rejected;
+      if (h < opts.min_step) {
+        res.y.pop_back();
+        return res;
+      }
+      continue;
+    }
+
+    // Richardson: for an order-2 method the half-step solution's error is
+    // ~(y_two - y_full) / 3; local extrapolation gives one extra order.
+    for (std::size_t i = 0; i < n; ++i) err[i] = (y_two[i] - y_full[i]) / 3.0;
+    const double en = error_norm(err, res.y, y_two, opts.abs_tol, opts.rel_tol);
+
+    if (en <= 1.0 && all_finite(y_two)) {
+      res.t += h;
+      res.y = y_two;
+      add_inplace(res.y, err);  // local extrapolation
+      if (opts.state_floor > -1e299) {
+        for (std::size_t i = 0; i < n_user; ++i) {
+          res.y[i] = std::max(res.y[i], opts.state_floor);
+        }
+      }
+      res.y[n_user] = res.t;  // keep the time state exact
+      ++res.steps;
+      const double factor =
+          en > 0.0 ? std::clamp(0.9 * std::pow(en, -1.0 / 3.0), 0.2, 5.0) : 5.0;
+      h = std::clamp(h * factor, opts.min_step, opts.max_step);
+    } else {
+      ++res.rejected;
+      h *= 0.5;
+      if (h < opts.min_step) {
+        res.y.pop_back();
+        return res;
+      }
+    }
+  }
+  res.success = res.t >= t_end;
+  res.y.pop_back();  // strip the internal time state
+  return res;
+}
+
+// Backward Euler with a damped Newton solve per step and simple step control
+// (halve on divergence, grow 1.5x on fast convergence).
+OdeResult integrate_implicit_euler(const OdeRhs& f, double t0, std::span<const double> y0,
+                                   double t_end, const OdeOptions& opts) {
+  OdeResult res;
+  res.y.assign(y0.begin(), y0.end());
+  res.t = t0;
+  const std::size_t n = res.y.size();
+  Vec fy(n), g(n), ynext(n);
+  double h = std::clamp(opts.initial_step, opts.min_step, opts.max_step);
+
+  while (res.t < t_end && res.steps < opts.max_steps) {
+    h = std::min(h, t_end - res.t);
+    ynext = res.y;  // predictor: previous state
+    bool converged = false;
+    std::size_t iters = 0;
+    for (; iters < 25; ++iters) {
+      fy.assign(n, 0.0);
+      f(res.t + h, ynext, fy);
+      ++res.rhs_evals;
+      // g(y) = y - y_prev - h f(t+h, y)
+      double gnorm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        g[i] = ynext[i] - res.y[i] - h * fy[i];
+        gnorm = std::max(gnorm, std::fabs(g[i]));
+      }
+      const double scale = std::max(1.0, norm_inf(ynext));
+      if (gnorm <= 1e-10 * scale + opts.abs_tol) {
+        converged = true;
+        break;
+      }
+      Matrix j = numeric_jacobian(f, res.t + h, ynext);
+      res.rhs_evals += n + 1;
+      Matrix w(n, n);
+      for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+          w(r, c) = (r == c ? 1.0 : 0.0) - h * j(r, c);
+      auto lu = LuFactorization::compute(w);
+      if (!lu) break;
+      Vec dy = lu->solve(g);
+      sub_inplace(ynext, dy);
+      if (!all_finite(ynext)) break;
+    }
+
+    if (converged) {
+      // Local error control: the gap between the implicit step and the
+      // explicit-Euler predictor is ~h^2 y''; treat it as the LTE estimate.
+      fy.assign(n, 0.0);
+      f(res.t, res.y, fy);
+      ++res.rhs_evals;
+      double en = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double predictor = res.y[i] + h * fy[i];
+        const double scale =
+            opts.abs_tol +
+            opts.rel_tol * std::max(std::fabs(res.y[i]), std::fabs(ynext[i]));
+        en = std::max(en, 0.5 * std::fabs(ynext[i] - predictor) / scale);
+      }
+      if (en > 1.0) {
+        ++res.rejected;
+        h = std::max(h * std::clamp(0.9 / en, 0.1, 0.9), opts.min_step);
+        if (h <= opts.min_step && en > 1e3) return res;
+        continue;
+      }
+      res.t += h;
+      res.y = ynext;
+      apply_floor(res.y, opts.state_floor);
+      ++res.steps;
+      const double grow = en > 0.0 ? std::clamp(0.9 / en, 1.0, 2.0) : 2.0;
+      if (iters <= 3) h = std::min(h * grow, opts.max_step);
+    } else {
+      ++res.rejected;
+      h *= 0.5;
+      if (h < opts.min_step) return res;
+    }
+  }
+  res.success = res.t >= t_end;
+  return res;
+}
+
+}  // namespace
+
+OdeResult integrate(const OdeRhs& f, double t0, std::span<const double> y0, double t_end,
+                    const OdeOptions& opts) {
+  assert(t_end >= t0);
+  switch (opts.method) {
+    case OdeMethod::kRk4:
+      return integrate_rk4(f, t0, y0, t_end, opts);
+    case OdeMethod::kCashKarp45: {
+      const EmbeddedRk rk(6, kCkA, kCkB5, kCkB4, kCkC, 4);
+      return integrate_adaptive(rk, f, t0, y0, t_end, opts);
+    }
+    case OdeMethod::kDormandPrince54: {
+      const EmbeddedRk rk(7, kDpA, kDpB5, kDpB4, kDpC, 4);
+      return integrate_adaptive(rk, f, t0, y0, t_end, opts);
+    }
+    case OdeMethod::kRosenbrockW:
+      return integrate_rosenbrock(f, t0, y0, t_end, opts);
+    case OdeMethod::kImplicitEuler:
+      return integrate_implicit_euler(f, t0, y0, t_end, opts);
+  }
+  return {};
+}
+
+OdeResult integrate_to_steady_state(const OdeRhs& f, std::span<const double> y0,
+                                    const SteadyStateOptions& opts) {
+  OdeResult res;
+  res.y.assign(y0.begin(), y0.end());
+  res.t = 0.0;
+  Vec dydt(res.y.size());
+
+  double t = 0.0;
+  while (t < opts.max_time) {
+    const double t_next = std::min(t + opts.check_interval, opts.max_time);
+    OdeResult leg = integrate(f, t, res.y, t_next, opts.ode);
+    res.steps += leg.steps;
+    res.rejected += leg.rejected;
+    res.rhs_evals += leg.rhs_evals;
+    res.y = std::move(leg.y);
+    res.t = leg.t;
+    if (!leg.success) {
+      res.success = false;
+      return res;
+    }
+    t = t_next;
+    dydt.assign(res.y.size(), 0.0);
+    f(t, res.y, dydt);
+    ++res.rhs_evals;
+    if (norm_inf(dydt) <= opts.derivative_tol) {
+      res.success = true;
+      return res;
+    }
+  }
+  res.success = false;  // ran out of model time before derivatives vanished
+  return res;
+}
+
+Matrix numeric_jacobian(const OdeRhs& f, double t, std::span<const double> y, double eps) {
+  const std::size_t n = y.size();
+  Matrix j(n, n);
+  Vec base(n), pert(n), yp(y.begin(), y.end());
+  f(t, y, base);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double h = eps * std::max(1.0, std::fabs(y[c]));
+    const double saved = yp[c];
+    yp[c] = saved + h;
+    pert.assign(n, 0.0);
+    f(t, yp, pert);
+    yp[c] = saved;
+    const double inv_h = 1.0 / h;
+    for (std::size_t r = 0; r < n; ++r) j(r, c) = (pert[r] - base[r]) * inv_h;
+  }
+  return j;
+}
+
+}  // namespace rmp::num

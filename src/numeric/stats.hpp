@@ -1,0 +1,38 @@
+// Descriptive statistics used by the robustness analysis and the benchmark
+// harness (ensemble yields, front statistics, run-to-run variation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rmp::num {
+
+[[nodiscard]] double mean(std::span<const double> a);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> a);
+
+[[nodiscard]] double stddev(std::span<const double> a);
+
+/// Linear-interpolation percentile, p in [0, 100]; input need not be sorted.
+[[nodiscard]] double percentile(std::span<const double> a, double p);
+
+[[nodiscard]] double median(std::span<const double> a);
+
+/// Pearson correlation of two equal-length samples; 0 when degenerate.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> a);
+
+}  // namespace rmp::num

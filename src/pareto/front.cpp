@@ -1,0 +1,65 @@
+#include "pareto/front.hpp"
+
+#include <algorithm>
+
+#include "moo/dominance.hpp"
+
+namespace rmp::pareto {
+
+Front Front::from_population(std::span<const Individual> pop) {
+  Front front;
+  for (std::size_t p = 0; p < pop.size(); ++p) {
+    if (!pop[p].feasible()) continue;
+    bool dominated = false;
+    bool duplicate = false;
+    for (std::size_t q = 0; q < pop.size() && !dominated; ++q) {
+      if (q == p || !pop[q].feasible()) continue;
+      if (moo::dominates(pop[q].f, pop[p].f)) dominated = true;
+      if (q < p && pop[q].f == pop[p].f) duplicate = true;
+    }
+    if (!dominated && !duplicate) front.members_.push_back(pop[p]);
+  }
+  return front;
+}
+
+void Front::sort_by_objective(std::size_t obj) {
+  std::sort(members_.begin(), members_.end(),
+            [obj](const Individual& a, const Individual& b) {
+              if (a.f[obj] != b.f[obj]) return a.f[obj] < b.f[obj];
+              return a.f < b.f;
+            });
+}
+
+num::Vec Front::relative_minimum() const {
+  if (members_.empty()) return {};
+  num::Vec prm = members_.front().f;
+  for (const Individual& m : members_) {
+    for (std::size_t j = 0; j < prm.size(); ++j) prm[j] = std::min(prm[j], m.f[j]);
+  }
+  return prm;
+}
+
+num::Vec Front::relative_maximum() const {
+  if (members_.empty()) return {};
+  num::Vec nadir = members_.front().f;
+  for (const Individual& m : members_) {
+    for (std::size_t j = 0; j < nadir.size(); ++j) nadir[j] = std::max(nadir[j], m.f[j]);
+  }
+  return nadir;
+}
+
+void Front::remove_dominated() {
+  Front filtered = from_population(members_);
+  members_ = std::move(filtered.members_);
+}
+
+Front Front::global_union(std::span<const Front> fronts) {
+  Front all;
+  for (const Front& f : fronts) {
+    for (const Individual& m : f.members()) all.members_.push_back(m);
+  }
+  all.remove_dominated();
+  return all;
+}
+
+}  // namespace rmp::pareto

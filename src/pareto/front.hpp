@@ -1,0 +1,56 @@
+// Pareto front container and basic manipulations (filtering, sorting,
+// normalization, union of multiple fronts).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "moo/individual.hpp"
+
+namespace rmp::pareto {
+
+using moo::Individual;
+
+class Front {
+ public:
+  Front() = default;
+  explicit Front(std::vector<Individual> members) : members_(std::move(members)) {}
+
+  /// Builds a front by keeping only the non-dominated members of `pop`
+  /// (plain objective dominance; infeasible members are dropped).
+  [[nodiscard]] static Front from_population(std::span<const Individual> pop);
+
+  [[nodiscard]] std::span<const Individual> members() const { return members_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] const Individual& operator[](std::size_t i) const { return members_[i]; }
+
+  [[nodiscard]] std::size_t num_objectives() const {
+    return members_.empty() ? 0 : members_.front().f.size();
+  }
+
+  void add(Individual ind) { members_.push_back(std::move(ind)); }
+
+  /// Sorts members by ascending objective `obj` (ties by the next objectives).
+  void sort_by_objective(std::size_t obj);
+
+  /// Component-wise minimum of the objective vectors — the Pareto Relative
+  /// Minimum (PRM) of Section 2.2: the best value achieved per objective.
+  [[nodiscard]] num::Vec relative_minimum() const;
+
+  /// Component-wise maximum (nadir estimate from this front).
+  [[nodiscard]] num::Vec relative_maximum() const;
+
+  /// Re-filters: keeps only mutually non-dominated members (useful after
+  /// concatenation).
+  void remove_dominated();
+
+  /// Union of several fronts, re-filtered to the globally non-dominated set
+  /// PA = union of m Pareto fronts (Section 2.2).
+  [[nodiscard]] static Front global_union(std::span<const Front> fronts);
+
+ private:
+  std::vector<Individual> members_;
+};
+
+}  // namespace rmp::pareto

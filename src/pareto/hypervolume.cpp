@@ -1,0 +1,144 @@
+#include "pareto/hypervolume.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "moo/dominance.hpp"
+
+namespace rmp::pareto {
+
+namespace {
+
+bool weakly_dominates_reference(const num::Vec& p, const num::Vec& ref) {
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (p[j] >= ref[j]) return false;
+  }
+  return true;
+}
+
+double hypervolume_2d(std::vector<num::Vec> pts, const num::Vec& ref) {
+  std::sort(pts.begin(), pts.end(), [](const num::Vec& a, const num::Vec& b) {
+    return a[0] != b[0] ? a[0] < b[0] : a[1] < b[1];
+  });
+  // Keep the staircase: strictly decreasing f1 as f0 increases; everything
+  // else is dominated and contributes no volume.
+  std::vector<num::Vec> stair;
+  for (const num::Vec& p : pts) {
+    if (stair.empty() || p[1] < stair.back()[1]) stair.push_back(p);
+  }
+  double hv = 0.0;
+  for (std::size_t i = 0; i < stair.size(); ++i) {
+    const double next_x = i + 1 < stair.size() ? stair[i + 1][0] : ref[0];
+    hv += (next_x - stair[i][0]) * (ref[1] - stair[i][1]);
+  }
+  return hv;
+}
+
+/// Inclusive hypervolume of a single point.
+double inclusive_hv(const num::Vec& p, const num::Vec& ref) {
+  double v = 1.0;
+  for (std::size_t j = 0; j < p.size(); ++j) v *= ref[j] - p[j];
+  return v;
+}
+
+double wfg(std::vector<num::Vec> pts, const num::Vec& ref);
+
+/// Exclusive hypervolume of p relative to the set `rest`.
+double exclusive_hv(const num::Vec& p, const std::vector<num::Vec>& rest,
+                    const num::Vec& ref) {
+  // Limit set: every member of `rest` clipped to the region dominated by p.
+  std::vector<num::Vec> limited;
+  limited.reserve(rest.size());
+  for (const num::Vec& q : rest) {
+    num::Vec l(q.size());
+    for (std::size_t j = 0; j < q.size(); ++j) l[j] = std::max(p[j], q[j]);
+    limited.push_back(std::move(l));
+  }
+  // Drop dominated members of the limit set (they add no volume).
+  std::vector<num::Vec> nd;
+  for (std::size_t i = 0; i < limited.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t k = 0; k < limited.size() && !dominated; ++k) {
+      if (k == i) continue;
+      if (moo::dominates(limited[k], limited[i]) ||
+          (k < i && limited[k] == limited[i])) {
+        dominated = true;
+      }
+    }
+    if (!dominated) nd.push_back(limited[i]);
+  }
+  return inclusive_hv(p, ref) - wfg(std::move(nd), ref);
+}
+
+double wfg(std::vector<num::Vec> pts, const num::Vec& ref) {
+  if (pts.empty()) return 0.0;
+  if (pts.size() == 1) return inclusive_hv(pts[0], ref);
+  if (ref.size() == 2) return hypervolume_2d(std::move(pts), ref);
+
+  // Sorting by the last objective improves limit-set pruning.
+  std::sort(pts.begin(), pts.end(), [](const num::Vec& a, const num::Vec& b) {
+    return a.back() > b.back();
+  });
+  double hv = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::vector<num::Vec> rest(pts.begin() + static_cast<long>(i) + 1, pts.end());
+    hv += exclusive_hv(pts[i], rest, ref);
+  }
+  return hv;
+}
+
+}  // namespace
+
+double hypervolume(std::span<const num::Vec> points, const num::Vec& reference) {
+  std::vector<num::Vec> pts;
+  pts.reserve(points.size());
+  for (const num::Vec& p : points) {
+    assert(p.size() == reference.size());
+    if (weakly_dominates_reference(p, reference)) pts.push_back(p);
+  }
+  if (pts.empty()) return 0.0;
+  if (reference.size() == 1) {
+    double best = pts[0][0];
+    for (const num::Vec& p : pts) best = std::min(best, p[0]);
+    return reference[0] - best;
+  }
+  if (reference.size() == 2) return hypervolume_2d(std::move(pts), reference);
+  return wfg(std::move(pts), reference);
+}
+
+double hypervolume(const Front& front, const num::Vec& reference) {
+  std::vector<num::Vec> pts;
+  pts.reserve(front.size());
+  for (const Individual& m : front.members()) pts.push_back(m.f);
+  return hypervolume(pts, reference);
+}
+
+double normalized_hypervolume(const Front& front, const num::Vec& ideal,
+                              const num::Vec& nadir) {
+  assert(ideal.size() == nadir.size());
+  if (front.empty()) return 0.0;
+  const std::size_t m = ideal.size();
+
+  // Reference slightly beyond 1 so that extreme points still contribute.
+  constexpr double kOffset = 1e-9;
+  num::Vec ref(m, 1.0 + kOffset);
+
+  std::vector<num::Vec> pts;
+  pts.reserve(front.size());
+  for (const Individual& member : front.members()) {
+    num::Vec f(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double range = nadir[j] - ideal[j];
+      f[j] = range > 0.0 ? (member.f[j] - ideal[j]) / range : 0.0;
+      f[j] = std::clamp(f[j], 0.0, 1.0);
+    }
+    pts.push_back(std::move(f));
+  }
+  const double hv = hypervolume(pts, ref);
+  // Volume of the unit box with the offset reference.
+  const double max_hv = std::pow(1.0 + kOffset, static_cast<double>(m));
+  return hv / max_hv;
+}
+
+}  // namespace rmp::pareto

@@ -1,0 +1,33 @@
+// Hypervolume indicator (Zitzler et al.): the volume dominated by a front and
+// bounded by a reference point.  Exact sweep for two objectives; the WFG
+// recursive algorithm for three or more.  A normalized variant maps the
+// union-front bounding box to the unit cube first — that is the Vp the
+// paper's Table 1 reports (values in [0, 1]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numeric/vec.hpp"
+#include "pareto/front.hpp"
+
+namespace rmp::pareto {
+
+/// Hypervolume of a set of minimized objective vectors against `reference`
+/// (every point must weakly dominate the reference; points that do not are
+/// ignored).
+[[nodiscard]] double hypervolume(std::span<const num::Vec> points,
+                                 const num::Vec& reference);
+
+/// Convenience overload over a front.
+[[nodiscard]] double hypervolume(const Front& front, const num::Vec& reference);
+
+/// Normalized hypervolume: objectives are affinely mapped so that `ideal`
+/// -> 0 and `nadir` -> 1 per coordinate, then measured against reference
+/// (1,...,1) with a small offset so extreme points contribute.  Returns a
+/// value in [0, ~1].  Typical use: ideal/nadir of the union front of all
+/// algorithms under comparison.
+[[nodiscard]] double normalized_hypervolume(const Front& front, const num::Vec& ideal,
+                                            const num::Vec& nadir);
+
+}  // namespace rmp::pareto

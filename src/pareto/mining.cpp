@@ -1,0 +1,133 @@
+#include "pareto/mining.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace rmp::pareto {
+
+namespace {
+
+/// Normalizes objective vectors into [0,1]^m using the front's own range.
+std::vector<num::Vec> normalized_objectives(const Front& front) {
+  const num::Vec lo = front.relative_minimum();
+  const num::Vec hi = front.relative_maximum();
+  std::vector<num::Vec> out;
+  out.reserve(front.size());
+  for (const Individual& m : front.members()) {
+    num::Vec f(m.f.size());
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      const double range = hi[j] - lo[j];
+      f[j] = range > 0.0 ? (m.f[j] - lo[j]) / range : 0.0;
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+double metric_distance(DistanceMetric metric, std::span<const double> a,
+                       std::span<const double> b) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean: return num::dist2(a, b);
+    case DistanceMetric::kManhattan: return num::dist1(a, b);
+    case DistanceMetric::kChebyshev: return num::dist_inf(a, b);
+  }
+  return num::dist2(a, b);
+}
+
+}  // namespace
+
+std::size_t closest_to_ideal(const Front& front, DistanceMetric metric,
+                             const num::Vec& ideal) {
+  assert(!front.empty());
+  const num::Vec lo = front.relative_minimum();
+  const num::Vec hi = front.relative_maximum();
+
+  // Normalize the target the same way as the members.
+  num::Vec target(lo.size(), 0.0);
+  if (!ideal.empty()) {
+    assert(ideal.size() == lo.size());
+    for (std::size_t j = 0; j < target.size(); ++j) {
+      const double range = hi[j] - lo[j];
+      target[j] = range > 0.0 ? (ideal[j] - lo[j]) / range : 0.0;
+    }
+  }
+
+  const auto norm = normalized_objectives(front);
+  std::size_t best = 0;
+  double best_dist = metric_distance(metric, norm[0], target);
+  for (std::size_t i = 1; i < norm.size(); ++i) {
+    const double d = metric_distance(metric, norm[i], target);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> shadow_minima(const Front& front) {
+  assert(!front.empty());
+  const std::size_t m = front.num_objectives();
+  std::vector<std::size_t> out(m, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 1; i < front.size(); ++i) {
+      if (front[i].f[j] < front[out[j]].f[j]) out[j] = i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> equally_spaced(const Front& front, std::size_t k) {
+  assert(!front.empty());
+  if (k == 0) return {};
+  if (k >= front.size()) {
+    std::vector<std::size_t> all(front.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return all;
+  }
+
+  // Order members along the front by the first objective, then walk the
+  // normalized polyline picking points at equal arc-length intervals.
+  std::vector<std::size_t> order(front.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return front[a].f[0] < front[b].f[0];
+  });
+
+  const auto norm = normalized_objectives(front);
+  std::vector<double> arc(front.size(), 0.0);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    arc[i] = arc[i - 1] + num::dist2(norm[order[i]], norm[order[i - 1]]);
+  }
+  const double total = arc.back();
+
+  std::vector<std::size_t> picks;
+  picks.reserve(k);
+  if (k == 1) {
+    picks.push_back(order[order.size() / 2]);
+    return picks;
+  }
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const double target =
+        total * static_cast<double>(s) / static_cast<double>(k - 1);
+    while (cursor + 1 < arc.size() && arc[cursor] < target) ++cursor;
+    // Snap to the nearer of cursor / cursor-1.
+    std::size_t chosen = cursor;
+    if (cursor > 0 &&
+        std::fabs(arc[cursor - 1] - target) < std::fabs(arc[cursor] - target)) {
+      chosen = cursor - 1;
+    }
+    picks.push_back(order[chosen]);
+  }
+  // Deduplicate while keeping order (duplicates possible on sparse fronts).
+  std::vector<std::size_t> unique;
+  for (std::size_t p : picks) {
+    if (unique.empty() || unique.back() != p) unique.push_back(p);
+  }
+  return unique;
+}
+
+}  // namespace rmp::pareto

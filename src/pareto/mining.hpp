@@ -1,0 +1,36 @@
+// Pareto-front mining — the trade-off selection strategies of Section 2.2:
+//   * closest-to-ideal: the non-dominated point nearest (in a chosen metric)
+//     to the ideal point I_p = (min f_1, ..., min f_p); the paper uses the
+//     Pareto Relative Minimum (best value achieved per objective) as I_p;
+//   * shadow minima: for each objective, the member attaining its minimum;
+//   * K equally-spaced picks along the front (used for the robustness
+//     screening of 50 Pareto-optimal points in Figure 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pareto/front.hpp"
+
+namespace rmp::pareto {
+
+enum class DistanceMetric { kEuclidean, kManhattan, kChebyshev };
+
+/// Index of the member closest to the ideal point.  When `ideal` is empty the
+/// Pareto Relative Minimum of the front is used.  Objectives are normalized
+/// by the front's PRM/nadir range so that differently-scaled objectives (CO2
+/// uptake ~40 vs nitrogen ~2.6e5) contribute comparably.
+[[nodiscard]] std::size_t closest_to_ideal(const Front& front,
+                                           DistanceMetric metric = DistanceMetric::kEuclidean,
+                                           const num::Vec& ideal = {});
+
+/// Shadow minima: for each objective j, the index of the member achieving the
+/// lowest f_j.  Result has num_objectives entries.
+[[nodiscard]] std::vector<std::size_t> shadow_minima(const Front& front);
+
+/// K points approximately equally spaced along the (normalized) front,
+/// ordered by the first objective; always includes both extremes when
+/// k >= 2.  Returns member indices.
+[[nodiscard]] std::vector<std::size_t> equally_spaced(const Front& front, std::size_t k);
+
+}  // namespace rmp::pareto

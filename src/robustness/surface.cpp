@@ -1,0 +1,25 @@
+#include "robustness/surface.hpp"
+
+#include "pareto/mining.hpp"
+
+namespace rmp::robustness {
+
+std::vector<SurfacePoint> robustness_surface(const pareto::Front& front,
+                                             const PropertyFn& property,
+                                             const SurfaceConfig& cfg) {
+  std::vector<SurfacePoint> out;
+  if (front.empty()) return out;
+
+  const std::vector<std::size_t> picks = pareto::equally_spaced(front, cfg.samples);
+  out.reserve(picks.size());
+  for (std::size_t idx : picks) {
+    SurfacePoint p;
+    p.front_index = idx;
+    p.objectives = front[idx].f;
+    p.gamma = global_yield(front[idx].x, property, cfg.yield).gamma;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace rmp::robustness

@@ -1,0 +1,60 @@
+#include "robustness/yield.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmp::robustness {
+
+bool robustness_condition(double nominal_value, double perturbed_value,
+                          double absolute_threshold) {
+  return std::fabs(nominal_value - perturbed_value) <= absolute_threshold;
+}
+
+namespace {
+
+YieldResult run_ensemble(std::span<const double> x, const PropertyFn& f,
+                         const YieldConfig& cfg,
+                         const std::vector<num::Vec>& ensemble) {
+  YieldResult r;
+  r.nominal_value = f(x);
+  r.absolute_threshold = cfg.epsilon_fraction * std::fabs(r.nominal_value);
+  r.total_trials = ensemble.size();
+  for (const num::Vec& tau : ensemble) {
+    const double v = f(tau);
+    const double dev = std::fabs(r.nominal_value - v);
+    r.max_deviation = std::max(r.max_deviation, dev);
+    if (dev <= r.absolute_threshold) ++r.robust_trials;
+  }
+  if (r.total_trials > 0) {
+    r.gamma = static_cast<double>(r.robust_trials) / static_cast<double>(r.total_trials);
+  }
+  return r;
+}
+
+}  // namespace
+
+YieldResult global_yield(std::span<const double> x, const PropertyFn& f,
+                         const YieldConfig& cfg) {
+  num::Rng rng(cfg.seed);
+  const auto ensemble = global_ensemble(x, cfg.perturbation, rng);
+  return run_ensemble(x, f, cfg, ensemble);
+}
+
+YieldResult local_yield(std::span<const double> x, std::size_t var, const PropertyFn& f,
+                        const YieldConfig& cfg) {
+  num::Rng rng(cfg.seed + var + 1);
+  const auto ensemble = local_ensemble(x, var, cfg.perturbation, rng);
+  return run_ensemble(x, f, cfg, ensemble);
+}
+
+std::vector<YieldResult> local_yields(std::span<const double> x, const PropertyFn& f,
+                                      const YieldConfig& cfg) {
+  std::vector<YieldResult> out;
+  out.reserve(x.size());
+  for (std::size_t var = 0; var < x.size(); ++var) {
+    out.push_back(local_yield(x, var, f, cfg));
+  }
+  return out;
+}
+
+}  // namespace rmp::robustness

@@ -1,0 +1,57 @@
+// Robustness condition rho (eq. 3) and uptake yield Gamma (eq. 4).
+//
+//   rho(x, x*, f, eps) = 1  iff  |f(x) - f(x*)| <= eps        (eq. 3)
+//   Gamma(x, f, eps)   = sum_{tau in T} rho(x, tau, f, eps) / |T|   (eq. 4)
+//
+// The threshold is expressed as a *percentage of the nominal value* (the
+// paper uses eps = 5% of the nominal uptake rate): the absolute threshold
+// used in eq. 3 is eps_fraction * |f(x_nominal)|.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "robustness/perturbation.hpp"
+
+namespace rmp::robustness {
+
+/// Scalar property whose persistence is being assessed (e.g. CO2 uptake of an
+/// enzyme partition).  Must be safe to call concurrently.
+using PropertyFn = std::function<double(std::span<const double> x)>;
+
+/// Robustness condition rho: 1 when the perturbed property stays within the
+/// absolute threshold of the nominal property.
+[[nodiscard]] bool robustness_condition(double nominal_value, double perturbed_value,
+                                        double absolute_threshold);
+
+struct YieldConfig {
+  PerturbationConfig perturbation;
+  double epsilon_fraction = 0.05;  ///< eps as a fraction of the nominal value
+  std::uint64_t seed = 99;
+};
+
+struct YieldResult {
+  double gamma = 0.0;            ///< fraction of robust trials, in [0, 1]
+  double nominal_value = 0.0;    ///< f(x)
+  double absolute_threshold = 0.0;
+  std::size_t robust_trials = 0;
+  std::size_t total_trials = 0;
+  /// Worst absolute deviation observed across the ensemble.
+  double max_deviation = 0.0;
+};
+
+/// Global yield: all variables perturbed simultaneously.
+[[nodiscard]] YieldResult global_yield(std::span<const double> x, const PropertyFn& f,
+                                       const YieldConfig& cfg);
+
+/// Local yield of one variable.
+[[nodiscard]] YieldResult local_yield(std::span<const double> x, std::size_t var,
+                                      const PropertyFn& f, const YieldConfig& cfg);
+
+/// Local yield for every variable (the per-enzyme fragility profile).
+[[nodiscard]] std::vector<YieldResult> local_yields(std::span<const double> x,
+                                                    const PropertyFn& f,
+                                                    const YieldConfig& cfg);
+
+}  // namespace rmp::robustness

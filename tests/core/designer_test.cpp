@@ -1,0 +1,127 @@
+#include "core/designer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "moo/testproblems.hpp"
+
+namespace rmp::core {
+namespace {
+
+DesignerConfig small_config() {
+  DesignerConfig cfg;
+  cfg.optimizer.islands = 2;
+  cfg.optimizer.generations = 30;
+  cfg.optimizer.migration_interval = 10;
+  cfg.optimizer.seed = 5;
+  cfg.surface.samples = 8;
+  cfg.surface.yield.perturbation.global_trials = 100;
+  return cfg;
+}
+
+TEST(DesignerTest, FullPipelineOnZdt1) {
+  const moo::Zdt1 problem(8);
+  const RobustDesigner designer(small_config());
+  const robustness::PropertyFn property = [&](std::span<const double> x) {
+    num::Vec f(2);
+    (void)problem.evaluate(x, f);
+    return f[0];
+  };
+  const DesignReport report = designer.design(problem, property);
+
+  EXPECT_GT(report.front.size(), 10u);
+  EXPECT_GT(report.evaluations, 1000u);
+
+  // Mined set: closest-to-ideal + one shadow minimum per objective + max-yield.
+  ASSERT_GE(report.mined.size(), 3u);
+  EXPECT_EQ(report.mined[0].selection, "closest-to-ideal");
+  EXPECT_EQ(report.mined[1].selection, "shadow-min f0");
+  EXPECT_EQ(report.mined[2].selection, "shadow-min f1");
+  EXPECT_EQ(report.mined.back().selection, "max-yield");
+
+  // Every mined candidate carries a yield estimate in [0, 1].
+  for (const MinedCandidate& c : report.mined) {
+    ASSERT_TRUE(c.yield.has_value()) << c.selection;
+    EXPECT_GE(c.yield->gamma, 0.0);
+    EXPECT_LE(c.yield->gamma, 1.0);
+  }
+  EXPECT_FALSE(report.surface.empty());
+}
+
+TEST(DesignerTest, ShadowMinimaAreExtremes) {
+  const moo::Zdt1 problem(8);
+  const RobustDesigner designer(small_config());
+  const DesignReport report = designer.design(problem, nullptr);
+  const num::Vec prm = report.front.relative_minimum();
+  EXPECT_DOUBLE_EQ(report.mined[1].objectives[0], prm[0]);
+  EXPECT_DOUBLE_EQ(report.mined[2].objectives[1], prm[1]);
+}
+
+TEST(DesignerTest, NullPropertySkipsRobustness) {
+  const moo::Zdt1 problem(8);
+  const RobustDesigner designer(small_config());
+  const DesignReport report = designer.design(problem, nullptr);
+  EXPECT_TRUE(report.surface.empty());
+  for (const MinedCandidate& c : report.mined) {
+    EXPECT_FALSE(c.yield.has_value());
+  }
+}
+
+TEST(DesignerTest, RobustnessDisabledByConfig) {
+  const moo::Zdt1 problem(8);
+  DesignerConfig cfg = small_config();
+  cfg.run_robustness = false;
+  const RobustDesigner designer(cfg);
+  const robustness::PropertyFn property = [](std::span<const double> x) {
+    return x[0];
+  };
+  const DesignReport report = designer.design(problem, property);
+  EXPECT_TRUE(report.surface.empty());
+}
+
+TEST(ReportTest, FrontCsvSortedAndSigned) {
+  pareto::Front front;
+  pareto::Individual a, b;
+  a.f = {-2.0, 5.0};
+  b.f = {-1.0, 7.0};
+  front.add(b);
+  front.add(a);
+  std::ostringstream os;
+  const bool negate[] = {true, false};
+  write_front_csv(front, os, negate);
+  EXPECT_EQ(os.str(), "2,5\n1,7\n");
+}
+
+TEST(ReportTest, TextTableAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(ReportTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.5), "1.5");
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+}
+
+TEST(ReportTest, SummaryPrints) {
+  const moo::Zdt1 problem(6);
+  DesignerConfig cfg = small_config();
+  cfg.optimizer.generations = 5;
+  const RobustDesigner designer(cfg);
+  const DesignReport report = designer.design(problem, nullptr);
+  std::ostringstream os;
+  print_report_summary(report, os);
+  EXPECT_NE(os.str().find("front size"), std::string::npos);
+  EXPECT_NE(os.str().find("closest-to-ideal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmp::core

@@ -1,0 +1,84 @@
+#include "fba/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rmp::fba {
+namespace {
+
+/// Toy network with a futile cycle: uptake -> a -> bio, plus a <-> b <-> a
+/// loop that carries arbitrary flux without affecting the objective.
+MetabolicNetwork with_cycle() {
+  MetabolicNetwork net;
+  const auto ext = net.add_metabolite("x_ext", "", true);
+  const auto a = net.add_metabolite("a");
+  const auto b = net.add_metabolite("b");
+  const auto bio = net.add_metabolite("bio");
+  const auto bio_ext = net.add_metabolite("bio_ext", "", true);
+  net.add_reaction({"uptake", "", {{ext, -1.0}, {a, 1.0}}, 0.0, 5.0});
+  net.add_reaction({"a_to_b", "", {{a, -1.0}, {b, 1.0}}, 0.0, 100.0});
+  net.add_reaction({"b_to_a", "", {{b, -1.0}, {a, 1.0}}, 0.0, 100.0});
+  net.add_reaction({"growth", "", {{a, -1.0}, {bio, 1.0}}, 0.0, 100.0});
+  net.add_reaction({"EX_bio", "", {{bio, -1.0}, {bio_ext, 1.0}}, 0.0, 100.0});
+  return net;
+}
+
+TEST(PfbaTest, KeepsOptimumAndKillsFutileCycle) {
+  const MetabolicNetwork net = with_cycle();
+  const FbaResult plain = run_fba(net, "EX_bio");
+  ASSERT_TRUE(plain.optimal());
+  EXPECT_NEAR(plain.objective_value, 5.0, 1e-6);
+
+  const FbaResult pfba = run_pfba(net, "EX_bio");
+  ASSERT_TRUE(pfba.optimal());
+  EXPECT_NEAR(pfba.objective_value, 5.0, 1e-6);
+  // The cycle carries zero flux in the parsimonious solution.
+  EXPECT_NEAR(pfba.fluxes[net.reaction_index("a_to_b").value()], 0.0, 1e-6);
+  EXPECT_NEAR(pfba.fluxes[net.reaction_index("b_to_a").value()], 0.0, 1e-6);
+}
+
+TEST(PfbaTest, SolutionStillSteadyState) {
+  const MetabolicNetwork net = with_cycle();
+  const FbaResult pfba = run_pfba(net, "EX_bio");
+  ASSERT_TRUE(pfba.optimal());
+  EXPECT_LT(net.steady_state_violation(pfba.fluxes), 1e-6);
+}
+
+TEST(PfbaTest, TotalFluxNotLargerThanPlainFba) {
+  const MetabolicNetwork net = with_cycle();
+  const FbaResult plain = run_fba(net, "EX_bio");
+  const FbaResult pfba = run_pfba(net, "EX_bio");
+  ASSERT_TRUE(plain.optimal() && pfba.optimal());
+  EXPECT_LE(num::norm1(pfba.fluxes), num::norm1(plain.fluxes) + 1e-6);
+}
+
+TEST(KnockoutTest, EssentialAndRedundantReactions) {
+  const MetabolicNetwork net = with_cycle();
+  const auto scan = knockout_scan(net, "EX_bio", {"uptake", "a_to_b", "growth"});
+  ASSERT_EQ(scan.size(), 3u);
+  // uptake and growth are essential; the cycle edge is not.
+  EXPECT_TRUE(scan[0].essential);
+  EXPECT_NEAR(scan[0].objective_value, 0.0, 1e-8);
+  EXPECT_FALSE(scan[1].essential);
+  EXPECT_NEAR(scan[1].retained_fraction, 1.0, 1e-6);
+  EXPECT_TRUE(scan[2].essential);
+}
+
+TEST(KnockoutTest, SkipsPinnedFluxes) {
+  MetabolicNetwork net;
+  const auto a = net.add_metabolite("a");
+  net.add_reaction({"in", "", {{a, 1.0}}, 0.45, 0.45});  // pinned, like ATPM
+  net.add_reaction({"out", "", {{a, -1.0}}, 0.0, 10.0});
+  const auto scan = knockout_scan(net, "out", {"in"});
+  EXPECT_TRUE(scan.empty());
+}
+
+TEST(KnockoutTest, ObjectiveItselfNotScanned) {
+  const MetabolicNetwork net = with_cycle();
+  const auto scan = knockout_scan(net, "EX_bio", {"EX_bio"});
+  EXPECT_TRUE(scan.empty());
+}
+
+}  // namespace
+}  // namespace rmp::fba

@@ -1,0 +1,164 @@
+#include "fba/geobacter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fba/fba.hpp"
+#include "fba/geobacter_problem.hpp"
+
+namespace rmp::fba {
+namespace {
+
+const MetabolicNetwork& model() {
+  static const MetabolicNetwork net = build_geobacter();
+  return net;
+}
+
+TEST(GeobacterTest, ExactlySixHundredEightReactions) {
+  // The paper optimizes "its 608 reaction fluxes".
+  EXPECT_EQ(model().num_reactions(), 608u);
+}
+
+TEST(GeobacterTest, GenomeScaleShape) {
+  EXPECT_GT(model().num_internal_metabolites(), 400u);
+  EXPECT_TRUE(model().orphan_metabolites().empty());
+}
+
+TEST(GeobacterTest, AtpMaintenanceFixedAtPaperValue) {
+  // "its flux is kept fixed at 0.45".
+  const auto idx = model().reaction_index(geobacter_ids::kAtpMaintenance);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_DOUBLE_EQ(model().reaction(*idx).lower_bound, 0.45);
+  EXPECT_DOUBLE_EQ(model().reaction(*idx).upper_bound, 0.45);
+}
+
+TEST(GeobacterTest, MaxElectronProductionNearPaperRange) {
+  // Paper Figure 4: electron production 158.14 - 160.90 mmol/gDW/h.
+  const FbaResult r = run_fba(model(), geobacter_ids::kElectronProduction);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_NEAR(r.objective_value, 161.0, 1.0);
+  // Biomass at the max-EP corner ~ 0.283 (paper point E).
+  const double bp =
+      r.fluxes[model().reaction_index(geobacter_ids::kBiomassExport).value()];
+  EXPECT_NEAR(bp, 0.283, 0.02);
+}
+
+TEST(GeobacterTest, MaxBiomassExceedsPaperSegment) {
+  const FbaResult r = run_fba(model(), geobacter_ids::kBiomassExport);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_GT(r.objective_value, 0.30);  // the paper segment is the EP-rich corner
+  EXPECT_LT(r.objective_value, 1.0);
+}
+
+TEST(GeobacterTest, TradeoffSlopeMatchesPaper) {
+  // Between EP ~158 and ~161 biomass falls by ~0.017 (paper A -> E):
+  // slope dBP/dEP ~ -0.006.
+  MetabolicNetwork net = build_geobacter();
+  // Force EP to specific values by pinning bounds on EX_el, maximize BP.
+  auto pinned_bp = [&](double ep) {
+    MetabolicNetwork pin;
+    for (std::size_t m = 0; m < net.num_metabolites(); ++m) {
+      const Metabolite& met = net.metabolite(m);
+      pin.add_metabolite(met.id, met.name, met.external);
+    }
+    for (std::size_t r = 0; r < net.num_reactions(); ++r) {
+      Reaction rxn = net.reaction(r);
+      if (rxn.id == geobacter_ids::kElectronProduction) {
+        rxn.lower_bound = ep;
+        rxn.upper_bound = ep;
+      }
+      pin.add_reaction(std::move(rxn));
+    }
+    const FbaResult r = run_fba(pin, geobacter_ids::kBiomassExport);
+    EXPECT_TRUE(r.optimal());
+    return r.objective_value;
+  };
+  const double bp158 = pinned_bp(158.14);
+  const double bp161 = pinned_bp(160.90);
+  EXPECT_GT(bp158, bp161);
+  const double slope = (bp158 - bp161) / (160.90 - 158.14);
+  EXPECT_NEAR(slope, 0.006, 0.003);
+  EXPECT_NEAR(bp158, 0.300, 0.02);  // paper point A: (158.14, 0.300)
+}
+
+TEST(GeobacterTest, PeripheralPathwaysSilentAtOptimum) {
+  const FbaResult r = run_fba(model(), geobacter_ids::kElectronProduction);
+  ASSERT_TRUE(r.optimal());
+  double peripheral_flux = 0.0;
+  for (std::size_t i = 0; i < model().num_reactions(); ++i) {
+    if (model().reaction(i).id.rfind("EX_p", 0) == 0) {
+      peripheral_flux += r.fluxes[i];
+    }
+  }
+  EXPECT_LT(peripheral_flux, 1.0);
+}
+
+TEST(GeobacterProblemTest, DimensionsAndBounds) {
+  auto net = std::make_shared<const MetabolicNetwork>(build_geobacter());
+  GeobacterProblemOptions opts;
+  opts.nullspace_repair = false;  // keep construction cheap here
+  opts.lp_seeding = false;
+  const GeobacterProblem p(net, opts);
+  EXPECT_EQ(p.num_variables(), 608u);
+  EXPECT_EQ(p.num_objectives(), 2u);
+}
+
+TEST(GeobacterProblemTest, EvaluateScoresFluxVector) {
+  auto net = std::make_shared<const MetabolicNetwork>(build_geobacter());
+  GeobacterProblemOptions opts;
+  opts.nullspace_repair = false;
+  opts.lp_seeding = true;
+  const GeobacterProblem p(net, opts);
+
+  // An LP seed must evaluate as (essentially) feasible with paper-scale
+  // objectives.
+  num::Rng rng(1);
+  std::vector<num::Vec> seeds(1);
+  ASSERT_EQ(p.suggest_initial(seeds, rng), 1u);
+  num::Vec f(2);
+  const double violation = p.evaluate(seeds[0], f);
+  EXPECT_LT(violation, 1e-3);
+  const auto [ep, bp] = GeobacterProblem::to_paper_units(f);
+  EXPECT_GT(ep, 100.0);
+  EXPECT_GT(bp, 0.2);
+}
+
+TEST(GeobacterProblemTest, ViolationMeasuresSteadyStateResidual) {
+  auto net = std::make_shared<const MetabolicNetwork>(build_geobacter());
+  GeobacterProblemOptions opts;
+  opts.nullspace_repair = false;
+  opts.lp_seeding = false;
+  const GeobacterProblem p(net, opts);
+  num::Vec x(608, 1.0);  // uniform fluxes are far from steady state
+  num::Vec f(2);
+  const double violation = p.evaluate(x, f);
+  EXPECT_GT(violation, 1.0);
+  EXPECT_NEAR(violation, net->steady_state_violation(x), 1e-9);
+}
+
+TEST(GeobacterProblemTest, NullspaceRepairReducesViolation) {
+  auto net = std::make_shared<const MetabolicNetwork>(build_geobacter());
+  GeobacterProblemOptions opts;
+  opts.nullspace_repair = true;
+  opts.lp_seeding = true;
+  const GeobacterProblem p(net, opts);
+
+  num::Rng rng(7);
+  num::Vec x(608);
+  const num::Vec lo = net->lower_bounds();
+  const num::Vec hi = net->upper_bounds();
+  for (std::size_t i = 0; i < 608; ++i) {
+    x[i] = rng.uniform(lo[i], std::min(hi[i], lo[i] + 10.0));
+  }
+  const double before = net->steady_state_violation(x);
+  p.repair(x);
+  const double after = net->steady_state_violation(x);
+  EXPECT_LT(after, before * 0.2);
+  // Repair must respect the box.
+  for (std::size_t i = 0; i < 608; ++i) {
+    EXPECT_GE(x[i], lo[i] - 1e-9);
+    EXPECT_LE(x[i], hi[i] + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rmp::fba

@@ -1,0 +1,107 @@
+#include "fba/modelio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fba/geobacter.hpp"
+
+namespace rmp::fba {
+namespace {
+
+TEST(ModelIoTest, RoundTripSmallNetwork) {
+  MetabolicNetwork net;
+  const auto ext = net.add_metabolite("s_ext", "", true);
+  const auto s = net.add_metabolite("s");
+  net.add_reaction({"in", "", {{ext, -1.0}, {s, 1.0}}, 0.0, 5.5});
+  net.add_reaction({"out", "", {{s, -1.0}}, -2.0, 7.0});
+
+  const std::string text = network_to_string(net);
+  std::string error;
+  const auto parsed = network_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_metabolites(), 2u);
+  EXPECT_EQ(parsed->num_reactions(), 2u);
+  EXPECT_TRUE(parsed->metabolite(0).external);
+  EXPECT_FALSE(parsed->metabolite(1).external);
+  EXPECT_DOUBLE_EQ(parsed->reaction(1).lower_bound, -2.0);
+  EXPECT_DOUBLE_EQ(parsed->reaction(1).upper_bound, 7.0);
+  EXPECT_EQ(parsed->reaction(0).stoichiometry.size(), 2u);
+}
+
+TEST(ModelIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "metabolite a\n"
+      "reaction r 0 1 : 1 a\n";
+  const auto net = network_from_string(text);
+  ASSERT_TRUE(net.has_value());
+  EXPECT_EQ(net->num_reactions(), 1u);
+}
+
+TEST(ModelIoTest, UnknownMetaboliteRejected) {
+  const std::string text = "reaction r 0 1 : 1 ghost\n";
+  std::string error;
+  EXPECT_FALSE(network_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("ghost"), std::string::npos);
+}
+
+TEST(ModelIoTest, MalformedHeaderRejected) {
+  std::string error;
+  EXPECT_FALSE(network_from_string("reaction r 0 1 1 a\n", &error).has_value());
+  EXPECT_FALSE(network_from_string("frobnicate x\n", &error).has_value());
+}
+
+TEST(ModelIoTest, DuplicateReactionRejected) {
+  const std::string text =
+      "metabolite a\n"
+      "reaction r 0 1 : 1 a\n"
+      "reaction r 0 1 : -1 a\n";
+  std::string error;
+  EXPECT_FALSE(network_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(ModelIoTest, EmptyReactionRejected) {
+  std::string error;
+  EXPECT_FALSE(network_from_string("reaction r 0 1 :\n", &error).has_value());
+}
+
+TEST(ModelIoTest, GenomeScaleRoundTrip) {
+  // The full synthetic Geobacter model must survive serialization intact.
+  const MetabolicNetwork original = build_geobacter();
+  const std::string text = network_to_string(original);
+  std::string error;
+  const auto parsed = network_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_reactions(), original.num_reactions());
+  EXPECT_EQ(parsed->num_metabolites(), original.num_metabolites());
+  // Spot-check stoichiometric equivalence via the violation of a random-ish
+  // flux vector.
+  num::Vec v(original.num_reactions());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>((i * 2654435761u) % 100) / 25.0;
+  }
+  EXPECT_NEAR(parsed->steady_state_violation(v), original.steady_state_violation(v),
+              1e-9);
+}
+
+TEST(ModelIoTest, FileSaveLoad) {
+  MetabolicNetwork net;
+  net.add_metabolite("m");
+  net.add_reaction({"r", "", {{0, 1.0}}, 0.0, 1.0});
+  const std::string path = ::testing::TempDir() + "/rmp_modelio_test.net";
+  ASSERT_TRUE(save_network(net, path));
+  std::string error;
+  const auto loaded = load_network(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_reactions(), 1u);
+}
+
+TEST(ModelIoTest, MissingFileError) {
+  std::string error;
+  EXPECT_FALSE(load_network("/nonexistent/rmp.net", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace rmp::fba

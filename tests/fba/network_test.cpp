@@ -1,0 +1,93 @@
+#include "fba/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmp::fba {
+namespace {
+
+MetabolicNetwork toy() {
+  // A -> B -> (export); one internal metabolite chain.
+  MetabolicNetwork net;
+  const auto ext = net.add_metabolite("a_ext", "A external", true);
+  const auto a = net.add_metabolite("a", "A");
+  const auto b = net.add_metabolite("b", "B");
+  net.add_reaction({"uptake", "uptake", {{ext, -1.0}, {a, 1.0}}, 0.0, 10.0});
+  net.add_reaction({"convert", "convert", {{a, -1.0}, {b, 1.0}}, 0.0, 8.0});
+  net.add_reaction({"export", "export", {{b, -1.0}}, 0.0, 100.0});
+  return net;
+}
+
+TEST(NetworkTest, CountsAndLookups) {
+  const MetabolicNetwork net = toy();
+  EXPECT_EQ(net.num_metabolites(), 3u);
+  EXPECT_EQ(net.num_internal_metabolites(), 2u);
+  EXPECT_EQ(net.num_reactions(), 3u);
+  EXPECT_EQ(net.metabolite_index("b"), 2u);
+  EXPECT_EQ(net.reaction_index("convert"), 1u);
+  EXPECT_FALSE(net.metabolite_index("nope").has_value());
+  EXPECT_FALSE(net.reaction_index("nope").has_value());
+}
+
+TEST(NetworkTest, DuplicateMetaboliteReturnsExistingIndex) {
+  MetabolicNetwork net;
+  const auto a = net.add_metabolite("x");
+  const auto b = net.add_metabolite("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(net.num_metabolites(), 1u);
+}
+
+TEST(NetworkTest, StoichiometricMatrixSkipsExternal) {
+  const MetabolicNetwork net = toy();
+  const num::SparseMatrix s = net.stoichiometric_matrix();
+  EXPECT_EQ(s.rows(), 2u);  // internal metabolites only
+  EXPECT_EQ(s.cols(), 3u);
+  // Row for "a": +1 from uptake, -1 from convert.
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 2), -1.0);
+}
+
+TEST(NetworkTest, SteadyStateViolation) {
+  const MetabolicNetwork net = toy();
+  // Balanced flux: uptake = convert = export = 2.
+  EXPECT_DOUBLE_EQ(net.steady_state_violation(num::Vec{2.0, 2.0, 2.0}), 0.0);
+  // Unbalanced: A accumulates at 1/unit, B drains at 1/unit.
+  EXPECT_DOUBLE_EQ(net.steady_state_violation(num::Vec{3.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(NetworkTest, BoundsVectors) {
+  const MetabolicNetwork net = toy();
+  EXPECT_EQ(net.lower_bounds(), (num::Vec{0.0, 0.0, 0.0}));
+  EXPECT_EQ(net.upper_bounds(), (num::Vec{10.0, 8.0, 100.0}));
+}
+
+TEST(NetworkTest, OrphanDetection) {
+  MetabolicNetwork net = toy();
+  const auto orphan = net.add_metabolite("orphan");
+  net.add_reaction({"dead_end", "dead end", {{orphan, 1.0}}, 0.0, 1.0});
+  const auto orphans = net.orphan_metabolites();
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], "orphan");
+}
+
+TEST(NetworkTest, ReversibleReactionNotOrphan) {
+  MetabolicNetwork net;
+  const auto a = net.add_metabolite("a");
+  const auto b = net.add_metabolite("b");
+  net.add_reaction({"iso", "isomerase", {{a, -1.0}, {b, 1.0}}, -10.0, 10.0});
+  net.add_reaction({"in", "in", {{a, 1.0}}, 0.0, 1.0});
+  net.add_reaction({"out", "out", {{b, -1.0}}, 0.0, 1.0});
+  EXPECT_TRUE(net.orphan_metabolites().empty());
+}
+
+TEST(NetworkTest, ReversibilityFlag) {
+  const MetabolicNetwork net = toy();
+  EXPECT_FALSE(net.reaction(0).reversible());
+  Reaction r;
+  r.lower_bound = -5.0;
+  EXPECT_TRUE(r.reversible());
+}
+
+}  // namespace
+}  // namespace rmp::fba

@@ -1,0 +1,153 @@
+// End-to-end integration tests: the paper's pipelines at reduced scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/designer.hpp"
+#include "fba/fba.hpp"
+#include "fba/geobacter_problem.hpp"
+#include "kinetics/scenarios.hpp"
+#include "moo/moead.hpp"
+#include "moo/pmo2.hpp"
+#include "moo/testproblems.hpp"
+#include "pareto/coverage.hpp"
+#include "pareto/hypervolume.hpp"
+#include "pareto/mining.hpp"
+#include "robustness/yield.hpp"
+
+namespace rmp {
+namespace {
+
+TEST(IntegrationTest, PhotosynthesisFrontDominatesNaturalLeaf) {
+  // Reduced-scale Section 3.1: the PMO2 front at the present-day condition
+  // must contain points that dominate the natural partition (same uptake at
+  // less nitrogen, or more uptake at the same nitrogen).
+  auto problem = kinetics::make_problem(kinetics::table1_scenario());
+  moo::Pmo2Options o;
+  o.islands = 2;
+  o.generations = 40;
+  o.migration_interval = 20;
+  o.seed = 3;
+  moo::Pmo2 pmo2(*problem, o, moo::Pmo2::default_nsga2_factory(30));
+  pmo2.run();
+
+  const auto front = pareto::Front::from_population(pmo2.archive().solutions());
+  ASSERT_GT(front.size(), 10u);
+
+  const double natural_uptake = problem->model().natural_state().co2_uptake;
+  const double natural_nitrogen =
+      problem->model().nitrogen(num::Vec(kinetics::kNumEnzymes, 1.0));
+
+  bool improves = false;
+  for (const auto& m : front.members()) {
+    const auto [uptake, nitrogen] = kinetics::PhotosynthesisProblem::to_paper_units(m.f);
+    if (uptake >= natural_uptake && nitrogen < 0.95 * natural_nitrogen) improves = true;
+  }
+  EXPECT_TRUE(improves);
+}
+
+TEST(IntegrationTest, TradeoffPointsAreRobust) {
+  // Section 2.3 on the real model: the closest-to-ideal candidate of a small
+  // run keeps most of its uptake under 10% enzyme noise.
+  auto problem = kinetics::make_problem(kinetics::figure2_scenario());
+  moo::Pmo2Options o;
+  o.islands = 2;
+  o.generations = 25;
+  o.seed = 4;
+  moo::Pmo2 pmo2(*problem, o, moo::Pmo2::default_nsga2_factory(24));
+  pmo2.run();
+  const auto front = pareto::Front::from_population(pmo2.archive().solutions());
+  ASSERT_FALSE(front.empty());
+
+  const std::size_t pick = pareto::closest_to_ideal(front);
+  const auto& model = problem->model();
+  const robustness::PropertyFn uptake = [&model](std::span<const double> x) {
+    return model.steady_state(x).co2_uptake;
+  };
+  robustness::YieldConfig cfg;
+  cfg.perturbation.global_trials = 150;
+  const auto yield = robustness::global_yield(front[pick].x, uptake, cfg);
+  EXPECT_GT(yield.gamma, 0.2);
+}
+
+TEST(IntegrationTest, GeobacterOptimizationApproachesLpFront) {
+  // Reduced-scale Section 3.2: PMO2 with null-space repair finds solutions
+  // near the LP-optimal electron/biomass corner while keeping the
+  // steady-state violation tiny.
+  auto net = std::make_shared<const fba::MetabolicNetwork>(fba::build_geobacter());
+  auto problem = std::make_shared<fba::GeobacterProblem>(net);
+  moo::Pmo2Options o;
+  o.islands = 2;
+  o.generations = 12;
+  o.migration_interval = 6;
+  o.seed = 5;
+  moo::Pmo2 pmo2(*problem, o, moo::Pmo2::default_nsga2_factory(24));
+  pmo2.run();
+
+  const auto front = pareto::Front::from_population(pmo2.archive().solutions());
+  ASSERT_FALSE(front.empty());
+  double best_ep = 0.0, best_bp = 0.0;
+  for (const auto& m : front.members()) {
+    const auto [ep, bp] = fba::GeobacterProblem::to_paper_units(m.f);
+    best_ep = std::max(best_ep, ep);
+    best_bp = std::max(best_bp, bp);
+  }
+  EXPECT_GT(best_ep, 140.0);  // LP max is 161
+  EXPECT_GT(best_bp, 0.25);   // LP max is ~0.47
+}
+
+TEST(IntegrationTest, Pmo2BeatsSingleMoeadOnCoverage) {
+  // A miniature Table 1: on ZDT4 (multi-modal), the PMO2 archipelago's front
+  // should cover the union front at least as well as one MOEA/D run of the
+  // same evaluation budget.
+  const moo::Zdt4 problem(8);
+
+  moo::Pmo2Options po;
+  po.islands = 2;
+  po.generations = 60;
+  po.migration_interval = 15;
+  po.seed = 11;
+  moo::Pmo2 pmo2(problem, po, moo::Pmo2::default_nsga2_factory(30));
+  pmo2.run();
+  const auto pmo2_front = pareto::Front::from_population(pmo2.archive().solutions());
+
+  moo::MoeadOptions mo;
+  mo.population_size = 60;
+  mo.seed = 11;
+  moo::Moead moead(problem, mo);
+  moead.run(61);
+  const auto moead_front = pareto::Front::from_population(moead.population());
+
+  const std::vector<pareto::Front> fronts{pmo2_front, moead_front};
+  const auto cov = pareto::coverage_against_union(fronts);
+  EXPECT_GE(cov[0].global + 1e-9, cov[1].global);
+
+  const pareto::Front global = pareto::Front::global_union(fronts);
+  const num::Vec ideal = global.relative_minimum();
+  const num::Vec nadir = global.relative_maximum();
+  const double v_pmo2 = pareto::normalized_hypervolume(pmo2_front, ideal, nadir);
+  const double v_moead = pareto::normalized_hypervolume(moead_front, ideal, nadir);
+  EXPECT_GT(v_pmo2, 0.5 * v_moead);
+}
+
+TEST(IntegrationTest, DesignerOnPhotosynthesisProducesMinedCandidates) {
+  auto problem = kinetics::make_problem(kinetics::table1_scenario());
+  core::DesignerConfig cfg;
+  cfg.optimizer.islands = 2;
+  cfg.optimizer.generations = 15;
+  cfg.optimizer.seed = 8;
+  cfg.surface.samples = 5;
+  cfg.surface.yield.perturbation.global_trials = 60;
+  const core::RobustDesigner designer(cfg);
+
+  const auto& model = problem->model();
+  const robustness::PropertyFn uptake = [&model](std::span<const double> x) {
+    return model.steady_state(x).co2_uptake;
+  };
+  const core::DesignReport report = designer.design(*problem, uptake);
+  EXPECT_GE(report.mined.size(), 3u);
+  EXPECT_FALSE(report.front.empty());
+}
+
+}  // namespace
+}  // namespace rmp

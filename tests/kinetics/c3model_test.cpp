@@ -1,0 +1,164 @@
+#include "kinetics/c3model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "kinetics/scenarios.hpp"
+
+namespace rmp::kinetics {
+namespace {
+
+/// Shared models (constructing one solves the natural steady state).
+const C3Model& present_low() {
+  static const C3Model model(C3Config{});  // defaults: Ci=270, export=1
+  return model;
+}
+
+const C3Model& present_high() {
+  static const C3Model model = [] {
+    C3Config c;
+    c.triose_export_vmax = kExportHigh;
+    return C3Model(c);
+  }();
+  return model;
+}
+
+TEST(C3ModelTest, NaturalStateConverges) {
+  const SteadyState& nat = present_low().natural_state();
+  ASSERT_TRUE(nat.converged);
+  EXPECT_LT(nat.residual, 1e-3);
+  EXPECT_TRUE(num::all_finite(nat.state));
+}
+
+TEST(C3ModelTest, NaturalUptakeMatchesPaperOperatingPoint) {
+  // Figure 1: "Oper. CO2 Uptake: 15.486 +- 10% umol m^-2 s^-1".
+  const double a = present_low().natural_state().co2_uptake;
+  EXPECT_NEAR(a, 15.486, 0.10 * 15.486);
+}
+
+TEST(C3ModelTest, NaturalNitrogenMatchesPaper) {
+  const num::Vec ones(kNumEnzymes, 1.0);
+  EXPECT_NEAR(present_low().nitrogen(ones), 208330.0, 0.05 * 208330.0);
+}
+
+TEST(C3ModelTest, StateIsNonNegativeAndPoolsPlausibleAtNatural) {
+  const num::Vec& y = present_low().natural_state().state;
+  for (double v : y) EXPECT_GE(v, 0.0);
+  // Conserved pools respected.
+  const C3Config& c = present_low().config();
+  EXPECT_LE(y[kAtp], c.adenylate_total + 1e-6);
+}
+
+TEST(C3ModelTest, DerivativesVanishAtSteadyState) {
+  const num::Vec ones(kNumEnzymes, 1.0);
+  num::Vec dydt(kNumMetabolites);
+  present_low().derivatives(present_low().natural_state().state, ones, dydt);
+  EXPECT_LT(num::norm_inf(dydt), 1e-3);
+}
+
+TEST(C3ModelTest, CarbonBalanceClosesAtSteadyState) {
+  // Net fixation = carbon leaving through export, starch and photorespiratory
+  // CO2 (sucrose carbon leaves via the translocator legs).
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const C3Rates r = present_low().rates(present_low().natural_state().state, ones);
+  const double carbon_in = r.vc;                       // 1 C per carboxylation
+  const double carbon_out = 3.0 * (r.v_export + r.v_export_pga) +
+                            6.0 * r.v_starch + r.v_gdc;
+  EXPECT_NEAR(carbon_in, carbon_out, 0.05 * carbon_in);
+}
+
+TEST(C3ModelTest, PhotorespiratoryChainIsBalanced) {
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const C3Rates r = present_low().rates(present_low().natural_state().state, ones);
+  // vo -> PGCA -> GCA -> GOA at steady state.
+  EXPECT_NEAR(r.vo, r.v_pgcapase, 0.02 * r.vo);
+  EXPECT_NEAR(r.v_pgcapase, r.v_goaox, 0.02 * r.vo);
+  // GDC releases one CO2 per two glycines: v_gdc = vo / 2.
+  EXPECT_NEAR(r.v_gdc, 0.5 * r.vo, 0.05 * r.vo);
+}
+
+TEST(C3ModelTest, UptakeAccountsForPhotorespiration) {
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const C3Model& m = present_low();
+  const C3Rates r = m.rates(m.natural_state().state, ones);
+  const double expected = m.config().uptake_area_scale * (r.vc - r.v_gdc);
+  EXPECT_NEAR(m.co2_uptake(m.natural_state().state, ones), expected, 1e-9);
+}
+
+TEST(C3ModelTest, HigherExportCapacityRaisesUptake) {
+  EXPECT_GT(present_high().natural_state().co2_uptake,
+            present_low().natural_state().co2_uptake);
+}
+
+TEST(C3ModelTest, UptakeRespondsToCi) {
+  // Fronts should order past < present in natural uptake at high export.
+  C3Config past;
+  past.ci_ppm = kCiPast;
+  past.triose_export_vmax = kExportHigh;
+  const C3Model past_model(past);
+  ASSERT_TRUE(past_model.natural_state().converged);
+  EXPECT_LT(past_model.natural_state().co2_uptake,
+            present_high().natural_state().co2_uptake);
+}
+
+TEST(C3ModelTest, AllSixScenariosHaveLivingNaturalState) {
+  for (const Scenario& s : figure1_scenarios()) {
+    const auto model = make_model(s);
+    EXPECT_TRUE(model->natural_state().converged) << s.label;
+    EXPECT_GT(model->natural_state().co2_uptake, 5.0) << s.label;
+  }
+}
+
+TEST(C3ModelTest, UpRegulatedPartitionFixesMore) {
+  const num::Vec boosted(kNumEnzymes, 5.0);
+  const SteadyState ss = present_high().steady_state(boosted);
+  ASSERT_TRUE(ss.converged);
+  EXPECT_GT(ss.co2_uptake, present_high().natural_state().co2_uptake * 1.5);
+}
+
+TEST(C3ModelTest, DownRegulatedPartitionNearDeath) {
+  const num::Vec starved(kNumEnzymes, 0.02);
+  const SteadyState ss = present_low().steady_state(starved);
+  // Either converged with negligible uptake or declared unconverged.
+  if (ss.converged) EXPECT_LT(ss.co2_uptake, 1.0);
+}
+
+TEST(C3ModelTest, SteadyUptakeOptionalPropagatesFailure) {
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const auto a = present_low().steady_uptake(ones);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(*a, present_low().natural_state().co2_uptake, 0.2);
+}
+
+TEST(C3ModelTest, PerturbedPartitionsEvaluateQuickly) {
+  // The warm-start path must handle +-10% perturbations (the robustness
+  // ensembles) without falling back to integration.
+  num::Rng rng(4);
+  const C3Model& m = present_high();
+  for (int t = 0; t < 25; ++t) {
+    num::Vec mult(kNumEnzymes);
+    for (double& v : mult) v = 1.0 + rng.uniform(-0.1, 0.1);
+    const SteadyState ss = m.steady_state(mult);
+    EXPECT_TRUE(ss.converged);
+    EXPECT_GT(ss.co2_uptake, 5.0);
+  }
+}
+
+TEST(C3ModelTest, RatesAreFiniteEverywhereInBox) {
+  num::Rng rng(9);
+  const C3Model& m = present_low();
+  num::Vec y = C3Model::default_initial_state();
+  for (int t = 0; t < 100; ++t) {
+    num::Vec mult(kNumEnzymes);
+    for (double& v : mult) v = rng.uniform(0.02, 5.0);
+    for (double& v : y) v = rng.uniform(0.0, 5.0);
+    num::Vec dydt(kNumMetabolites);
+    m.derivatives(y, mult, dydt);
+    EXPECT_TRUE(num::all_finite(dydt));
+  }
+}
+
+}  // namespace
+}  // namespace rmp::kinetics

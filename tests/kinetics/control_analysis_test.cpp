@@ -1,0 +1,76 @@
+#include "kinetics/control_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kinetics/scenarios.hpp"
+
+namespace rmp::kinetics {
+namespace {
+
+const C3Model& model() {
+  static const C3Model m = [] {
+    C3Config c;
+    c.triose_export_vmax = kExportHigh;
+    return C3Model(c);
+  }();
+  return m;
+}
+
+TEST(ControlAnalysisTest, OneCoefficientPerEnzyme) {
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const auto ccs = flux_control_coefficients(model(), ones);
+  ASSERT_EQ(ccs.size(), kNumEnzymes);
+  for (std::size_t e = 0; e < kNumEnzymes; ++e) EXPECT_EQ(ccs[e].enzyme, e);
+}
+
+TEST(ControlAnalysisTest, CoefficientsAreFiniteAndBounded) {
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const auto ccs = flux_control_coefficients(model(), ones);
+  for (const auto& c : ccs) {
+    if (!c.reliable) continue;
+    EXPECT_TRUE(std::isfinite(c.coefficient));
+    // Individual flux control coefficients of a stable pathway are small.
+    EXPECT_LT(std::fabs(c.coefficient), 5.0) << enzyme_name(c.enzyme);
+  }
+}
+
+TEST(ControlAnalysisTest, SummationTheoremApproximatelyHolds) {
+  // Sum of flux control coefficients ~ 1 for a well-behaved pathway; the
+  // numerical probes leave slack, so a generous band is checked.
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const auto ccs = flux_control_coefficients(model(), ones);
+  std::size_t reliable = 0;
+  for (const auto& c : ccs) reliable += c.reliable;
+  ASSERT_GT(reliable, kNumEnzymes / 2);
+  EXPECT_NEAR(control_coefficient_sum(ccs), 1.0, 0.8);
+}
+
+TEST(ControlAnalysisTest, SucroseEnzymesControlLittleAtNaturalHighExport) {
+  // The paper: "pathway enzymes that lead to sucrose and starch synthesis
+  // were shown not to affect CO2 uptake rate if maintained at their natural
+  // concentration levels" — their control coefficients must be far from
+  // dominating.
+  const num::Vec ones(kNumEnzymes, 1.0);
+  const auto ccs = flux_control_coefficients(model(), ones);
+  double max_cc = 0.0;
+  for (const auto& c : ccs) {
+    if (c.reliable) max_cc = std::max(max_cc, std::fabs(c.coefficient));
+  }
+  ASSERT_GT(max_cc, 0.0);
+  if (ccs[kSpp].reliable) EXPECT_LT(std::fabs(ccs[kSpp].coefficient), max_cc);
+  if (ccs[kUdpgp].reliable) EXPECT_LT(std::fabs(ccs[kUdpgp].coefficient), max_cc);
+}
+
+TEST(ControlAnalysisTest, UnreliableWhenBaseDead) {
+  const num::Vec starved(kNumEnzymes, 0.02);
+  const auto ccs = flux_control_coefficients(model(), starved);
+  // Either all unreliable or coefficients of a dead pathway.
+  for (const auto& c : ccs) {
+    if (c.reliable) EXPECT_TRUE(std::isfinite(c.coefficient));
+  }
+}
+
+}  // namespace
+}  // namespace rmp::kinetics

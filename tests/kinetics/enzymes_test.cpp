@@ -1,0 +1,85 @@
+#include "kinetics/enzymes.hpp"
+
+#include "numeric/vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmp::kinetics {
+namespace {
+
+TEST(EnzymeTableTest, TwentyThreeEnzymes) {
+  EXPECT_EQ(kNumEnzymes, 23u);
+  EXPECT_EQ(enzyme_table().size(), 23u);
+}
+
+TEST(EnzymeTableTest, Figure2NamesPresentInOrder) {
+  // The exact labels of the paper's Figure 2, left to right.
+  EXPECT_EQ(enzyme_name(kRubisco), "Rubisco");
+  EXPECT_EQ(enzyme_name(kPgaKinase), "PGA Kinase");
+  EXPECT_EQ(enzyme_name(kGapDh), "GAP DH");
+  EXPECT_EQ(enzyme_name(kFbpAldolase), "FBP Aldolase");
+  EXPECT_EQ(enzyme_name(kFbpase), "FBPase");
+  EXPECT_EQ(enzyme_name(kTransketolase), "Transketolase");
+  EXPECT_EQ(enzyme_name(kSbpAldolase), "Aldolase");
+  EXPECT_EQ(enzyme_name(kSbpase), "SBPase");
+  EXPECT_EQ(enzyme_name(kPrk), "PRK");
+  EXPECT_EQ(enzyme_name(kAdpgpp), "ADPGPP");
+  EXPECT_EQ(enzyme_name(kPgcaPase), "PGCAPase");
+  EXPECT_EQ(enzyme_name(kGceaKinase), "GCEA Kinase");
+  EXPECT_EQ(enzyme_name(kGoaOxidase), "GOA Oxidase");
+  EXPECT_EQ(enzyme_name(kGsat), "GSAT");
+  EXPECT_EQ(enzyme_name(kHprReductase), "HPR reductas");
+  EXPECT_EQ(enzyme_name(kGgat), "GGAT");
+  EXPECT_EQ(enzyme_name(kGdc), "GDC");
+  EXPECT_EQ(enzyme_name(kCytFbpAldolase), "Cytolic FBP aldolase");
+  EXPECT_EQ(enzyme_name(kCytFbpase), "Cytolic FBPase");
+  EXPECT_EQ(enzyme_name(kUdpgp), "UDPGP");
+  EXPECT_EQ(enzyme_name(kSps), "SPS");
+  EXPECT_EQ(enzyme_name(kSpp), "SPP");
+  EXPECT_EQ(enzyme_name(kF26bpase), "F26BPase");
+}
+
+TEST(EnzymeTableTest, AllEntriesPhysical) {
+  for (const EnzymeInfo& e : enzyme_table()) {
+    EXPECT_GT(e.mw_kda, 0.0);
+    EXPECT_GT(e.kcat_per_s, 0.0);
+    EXPECT_GT(e.natural_vmax, 0.0);
+  }
+}
+
+TEST(NitrogenTest, FormulaMatchesPaper) {
+  // N_i = x_i * MW_i / kcat_i * scale (Figure 2 caption).
+  const EnzymeInfo& rub = enzyme_table()[kRubisco];
+  const double vmax = 2.0;
+  EXPECT_DOUBLE_EQ(enzyme_nitrogen(kRubisco, vmax, 10.0),
+                   vmax * rub.mw_kda / rub.kcat_per_s * 10.0);
+}
+
+TEST(NitrogenTest, TotalIsLinearInMultipliers) {
+  const rmp::num::Vec ones(kNumEnzymes, 1.0);
+  const rmp::num::Vec twos(kNumEnzymes, 2.0);
+  const double n1 = total_nitrogen(ones, 1.0);
+  const double n2 = total_nitrogen(twos, 1.0);
+  EXPECT_NEAR(n2, 2.0 * n1, 1e-9);
+}
+
+TEST(NitrogenTest, NaturalPartitionMatchesPaperOperatingPoint) {
+  // The calibrated natural leaf carries ~208330 mg/l protein nitrogen
+  // (Figure 1's "Oper. Nitrogen Conc.").
+  const rmp::num::Vec ones(kNumEnzymes, 1.0);
+  const double n = total_nitrogen(ones, 658.1);
+  EXPECT_NEAR(n, 208330.0, 0.02 * 208330.0);
+}
+
+TEST(NitrogenTest, RubiscoIsTheDominantNitrogenItem) {
+  // The paper: "Rubisco provides nitrogen to increase the concentration of
+  // other enzymes" — it must be the single largest nitrogen investment.
+  const auto table = enzyme_table();
+  const double rub = enzyme_nitrogen(kRubisco, table[kRubisco].natural_vmax, 1.0);
+  for (std::size_t e = 1; e < kNumEnzymes; ++e) {
+    EXPECT_GT(rub, enzyme_nitrogen(e, table[e].natural_vmax, 1.0)) << enzyme_name(e);
+  }
+}
+
+}  // namespace
+}  // namespace rmp::kinetics

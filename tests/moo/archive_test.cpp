@@ -1,0 +1,113 @@
+#include "moo/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moo/dominance.hpp"
+#include "numeric/rng.hpp"
+
+namespace rmp::moo {
+namespace {
+
+Individual make(double f0, double f1, double violation = 0.0) {
+  Individual ind;
+  ind.f = {f0, f1};
+  ind.x = {f0, f1};
+  ind.violation = violation;
+  return ind;
+}
+
+TEST(ArchiveTest, AcceptsNondominated) {
+  Archive a;
+  EXPECT_TRUE(a.offer(make(1.0, 3.0)));
+  EXPECT_TRUE(a.offer(make(3.0, 1.0)));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(ArchiveTest, RejectsDominated) {
+  Archive a;
+  EXPECT_TRUE(a.offer(make(1.0, 1.0)));
+  EXPECT_FALSE(a.offer(make(2.0, 2.0)));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(ArchiveTest, EvictsDominatedResidents) {
+  Archive a;
+  EXPECT_TRUE(a.offer(make(2.0, 2.0)));
+  EXPECT_TRUE(a.offer(make(3.0, 1.0)));
+  EXPECT_TRUE(a.offer(make(1.0, 1.0)));  // dominates both
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.solutions()[0].f, (num::Vec{1.0, 1.0}));
+}
+
+TEST(ArchiveTest, RejectsInfeasible) {
+  Archive a;
+  EXPECT_FALSE(a.offer(make(0.0, 0.0, /*violation=*/1.0)));
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(ArchiveTest, RejectsObjectiveDuplicates) {
+  Archive a;
+  EXPECT_TRUE(a.offer(make(1.0, 2.0)));
+  EXPECT_FALSE(a.offer(make(1.0, 2.0)));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(ArchiveTest, CapacityPruningKeepsExtremes) {
+  Archive a(5);
+  // A dense front: f1 = 10 - f0.
+  for (int i = 0; i <= 20; ++i) {
+    const double f0 = static_cast<double>(i) * 0.5;
+    a.offer(make(f0, 10.0 - f0));
+  }
+  EXPECT_EQ(a.size(), 5u);
+  bool has_left = false, has_right = false;
+  for (const Individual& m : a.solutions()) {
+    if (m.f[0] == 0.0) has_left = true;
+    if (m.f[0] == 10.0) has_right = true;
+  }
+  EXPECT_TRUE(has_left);
+  EXPECT_TRUE(has_right);
+}
+
+TEST(ArchiveTest, UnboundedGrowth) {
+  Archive a(0);
+  for (int i = 0; i <= 300; ++i) {
+    const double f0 = static_cast<double>(i);
+    a.offer(make(f0, 300.0 - f0));
+  }
+  EXPECT_EQ(a.size(), 301u);
+}
+
+TEST(ArchiveTest, ArchiveIsAlwaysMutuallyNondominated) {
+  num::Rng rng(3);
+  Archive a(50);
+  for (int i = 0; i < 1000; ++i) {
+    a.offer(make(rng.uniform(), rng.uniform()));
+  }
+  const auto sols = a.solutions();
+  for (std::size_t p = 0; p < sols.size(); ++p) {
+    for (std::size_t q = 0; q < sols.size(); ++q) {
+      if (p != q) EXPECT_FALSE(dominates(sols[p].f, sols[q].f));
+    }
+  }
+  EXPECT_LE(a.size(), 50u);
+}
+
+TEST(ArchiveTest, OfferAllFromPopulation) {
+  std::vector<Individual> pop{make(1.0, 5.0), make(2.0, 2.0), make(5.0, 1.0),
+                              make(3.0, 3.0)};  // last dominated by (2,2)
+  Archive a;
+  a.offer_all(pop);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(ArchiveTest, ClearEmpties) {
+  Archive a;
+  a.offer(make(1.0, 1.0));
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(a.offer(make(2.0, 2.0)));
+}
+
+}  // namespace
+}  // namespace rmp::moo

@@ -1,0 +1,172 @@
+#include "moo/dominance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/rng.hpp"
+
+namespace rmp::moo {
+namespace {
+
+Individual make(std::initializer_list<double> f, double violation = 0.0) {
+  Individual ind;
+  ind.f.assign(f);
+  ind.violation = violation;
+  return ind;
+}
+
+TEST(DominanceTest, StrictDominance) {
+  EXPECT_TRUE(dominates(std::vector<double>{1.0, 1.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_TRUE(dominates(std::vector<double>{1.0, 2.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_FALSE(dominates(std::vector<double>{1.0, 3.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_FALSE(dominates(std::vector<double>{2.0, 2.0}, std::vector<double>{1.0, 1.0}));
+}
+
+TEST(DominanceTest, EqualVectorsDoNotDominate) {
+  const std::vector<double> f{1.0, 2.0};
+  EXPECT_FALSE(dominates(f, f));
+}
+
+TEST(DominanceTest, AntisymmetryProperty) {
+  num::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> a{rng.uniform(), rng.uniform(), rng.uniform()};
+    std::vector<double> b{rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+  }
+}
+
+TEST(ConstrainedDominanceTest, FeasibleBeatsInfeasible) {
+  const Individual good = make({100.0, 100.0}, 0.0);
+  const Individual bad = make({0.0, 0.0}, 1.0);
+  EXPECT_TRUE(constrained_dominates(good, bad));
+  EXPECT_FALSE(constrained_dominates(bad, good));
+}
+
+TEST(ConstrainedDominanceTest, LessViolationWins) {
+  const Individual less = make({5.0, 5.0}, 0.1);
+  const Individual more = make({0.0, 0.0}, 0.5);
+  EXPECT_TRUE(constrained_dominates(less, more));
+  EXPECT_FALSE(constrained_dominates(more, less));
+}
+
+TEST(ConstrainedDominanceTest, BothFeasibleUsesPareto) {
+  const Individual a = make({1.0, 1.0});
+  const Individual b = make({2.0, 2.0});
+  EXPECT_TRUE(constrained_dominates(a, b));
+  EXPECT_FALSE(constrained_dominates(b, a));
+}
+
+TEST(SortTest, TwoFrontStructure) {
+  std::vector<Individual> pop{make({1.0, 4.0}), make({2.0, 3.0}), make({4.0, 1.0}),
+                              make({3.0, 5.0}), make({5.0, 4.0})};
+  const auto fronts = fast_nondominated_sort(pop);
+  ASSERT_GE(fronts.size(), 2u);
+  EXPECT_EQ(fronts[0].size(), 3u);
+  EXPECT_EQ(pop[0].rank, 0u);
+  EXPECT_EQ(pop[1].rank, 0u);
+  EXPECT_EQ(pop[2].rank, 0u);
+  EXPECT_EQ(pop[3].rank, 1u);
+  EXPECT_EQ(pop[4].rank, 1u);
+}
+
+TEST(SortTest, AllEqualObjectivesSingleFront) {
+  std::vector<Individual> pop{make({1.0, 1.0}), make({1.0, 1.0}), make({1.0, 1.0})};
+  const auto fronts = fast_nondominated_sort(pop);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 3u);
+}
+
+TEST(SortTest, ChainGivesOneFrontPerIndividual) {
+  std::vector<Individual> pop{make({1.0, 1.0}), make({2.0, 2.0}), make({3.0, 3.0})};
+  const auto fronts = fast_nondominated_sort(pop);
+  ASSERT_EQ(fronts.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(pop[i].rank, i);
+}
+
+TEST(SortTest, FrontsPartitionThePopulation) {
+  num::Rng rng(42);
+  std::vector<Individual> pop;
+  for (int i = 0; i < 60; ++i) {
+    pop.push_back(make({rng.uniform(), rng.uniform()}));
+  }
+  const auto fronts = fast_nondominated_sort(pop);
+  std::size_t total = 0;
+  for (const auto& f : fronts) total += f.size();
+  EXPECT_EQ(total, pop.size());
+  // Within a front nobody dominates anybody.
+  for (const auto& front : fronts) {
+    for (std::size_t a : front) {
+      for (std::size_t b : front) {
+        if (a != b) EXPECT_FALSE(constrained_dominates(pop[a], pop[b]));
+      }
+    }
+  }
+  // Every member of front k+1 is dominated by someone in front k.
+  for (std::size_t k = 0; k + 1 < fronts.size(); ++k) {
+    for (std::size_t b : fronts[k + 1]) {
+      bool dominated = false;
+      for (std::size_t a : fronts[k]) {
+        if (constrained_dominates(pop[a], pop[b])) dominated = true;
+      }
+      EXPECT_TRUE(dominated);
+    }
+  }
+}
+
+TEST(CrowdingTest, BoundaryGetsInfinity) {
+  std::vector<Individual> pop{make({1.0, 4.0}), make({2.0, 3.0}), make({3.0, 2.0}),
+                              make({4.0, 1.0})};
+  const std::vector<std::size_t> front{0, 1, 2, 3};
+  assign_crowding_distance(pop, front);
+  EXPECT_EQ(pop[0].crowding, kInfiniteCrowding);
+  EXPECT_EQ(pop[3].crowding, kInfiniteCrowding);
+  EXPECT_TRUE(std::isfinite(pop[1].crowding));
+  EXPECT_TRUE(std::isfinite(pop[2].crowding));
+}
+
+TEST(CrowdingTest, DenserRegionLowerCrowding) {
+  std::vector<Individual> pop{make({0.0, 10.0}), make({4.9, 5.1}), make({5.0, 5.0}),
+                              make({5.1, 4.9}), make({10.0, 0.0})};
+  const std::vector<std::size_t> front{0, 1, 2, 3, 4};
+  assign_crowding_distance(pop, front);
+  EXPECT_LT(pop[2].crowding, pop[1].crowding + 1e-12);
+  EXPECT_LT(pop[2].crowding, pop[3].crowding + 1e-12);
+}
+
+TEST(CrowdingTest, TinyFrontAllInfinite) {
+  std::vector<Individual> pop{make({1.0, 2.0}), make({2.0, 1.0})};
+  const std::vector<std::size_t> front{0, 1};
+  assign_crowding_distance(pop, front);
+  EXPECT_EQ(pop[0].crowding, kInfiniteCrowding);
+  EXPECT_EQ(pop[1].crowding, kInfiniteCrowding);
+}
+
+TEST(CrowdedLessTest, RankBeforeCrowding) {
+  Individual a = make({1.0, 1.0});
+  a.rank = 0;
+  a.crowding = 0.1;
+  Individual b = make({2.0, 2.0});
+  b.rank = 1;
+  b.crowding = 100.0;
+  EXPECT_TRUE(crowded_less(a, b));
+  EXPECT_FALSE(crowded_less(b, a));
+}
+
+TEST(NondominatedIndicesTest, FiltersDominatedAndInfeasible) {
+  std::vector<Individual> pop{make({1.0, 4.0}), make({2.0, 5.0}),       // dominated
+                              make({4.0, 1.0}), make({0.0, 0.0}, 2.0)};  // infeasible
+  const auto idx = nondominated_indices(pop);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(NondominatedIndicesTest, InfeasibleOnlyPopulation) {
+  std::vector<Individual> pop{make({0.0, 0.0}, 3.0), make({1.0, 1.0}, 1.0),
+                              make({2.0, 2.0}, 2.0)};
+  const auto idx = nondominated_indices(pop);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{1}));
+}
+
+}  // namespace
+}  // namespace rmp::moo

@@ -1,0 +1,200 @@
+#include "moo/pmo2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/moead.hpp"
+#include "moo/nsga2.hpp"
+#include "moo/testproblems.hpp"
+#include "moo/topology.hpp"
+
+namespace rmp::moo {
+namespace {
+
+TEST(TopologyTest, AllToAllEdgeCount) {
+  num::Rng rng(1);
+  const auto edges = migration_edges(TopologyKind::kAllToAll, 4, rng);
+  EXPECT_EQ(edges.size(), 12u);  // n (n-1)
+}
+
+TEST(TopologyTest, RingIsCycle) {
+  num::Rng rng(1);
+  const auto edges = migration_edges(TopologyKind::kRing, 5, rng);
+  ASSERT_EQ(edges.size(), 5u);
+  for (const auto& [from, to] : edges) {
+    EXPECT_EQ(to, (from + 1) % 5);
+  }
+}
+
+TEST(TopologyTest, StarCentersOnHub) {
+  num::Rng rng(1);
+  const auto edges = migration_edges(TopologyKind::kStar, 4, rng);
+  EXPECT_EQ(edges.size(), 6u);  // 2 per spoke
+  for (const auto& [from, to] : edges) {
+    EXPECT_TRUE(from == 0 || to == 0);
+  }
+}
+
+TEST(TopologyTest, RandomRespectsDegree) {
+  num::Rng rng(1);
+  const auto edges = migration_edges(TopologyKind::kRandom, 6, rng, 2);
+  EXPECT_EQ(edges.size(), 12u);
+  for (const auto& [from, to] : edges) EXPECT_NE(from, to);
+}
+
+TEST(TopologyTest, SingleIslandNoEdges) {
+  num::Rng rng(1);
+  EXPECT_TRUE(migration_edges(TopologyKind::kAllToAll, 1, rng).empty());
+  EXPECT_TRUE(migration_edges(TopologyKind::kRing, 1, rng).empty());
+}
+
+TEST(Pmo2Test, PaperConfigurationRuns) {
+  // The paper's adopted configuration (scaled down): two NSGA-II islands,
+  // broadcast migration, probability 0.5.
+  const Zdt1 problem(10);
+  Pmo2Options o;
+  o.islands = 2;
+  o.generations = 30;
+  o.migration_interval = 10;
+  o.migration_probability = 0.5;
+  o.topology = TopologyKind::kAllToAll;
+  o.seed = 99;
+  Pmo2 pmo2(problem, o, Pmo2::default_nsga2_factory(20));
+  pmo2.run();
+  EXPECT_EQ(pmo2.num_islands(), 2u);
+  EXPECT_GT(pmo2.archive().size(), 10u);
+  // 2 islands x 20 pop x (1 init + 30 gens)
+  EXPECT_EQ(pmo2.evaluations(), 2u * 20u * 31u);
+}
+
+TEST(Pmo2Test, MigrationHappensAtInterval) {
+  const Zdt1 problem(8);
+  Pmo2Options o;
+  o.islands = 2;
+  o.generations = 40;
+  o.migration_interval = 10;
+  o.migration_probability = 1.0;  // deterministic
+  Pmo2 pmo2(problem, o, Pmo2::default_nsga2_factory(12));
+  pmo2.run();
+  // 4 migration events x 2 edges (all-to-all between 2 islands)
+  EXPECT_EQ(pmo2.migrations_performed(), 8u);
+}
+
+TEST(Pmo2Test, NoMigrationWhenProbabilityZero) {
+  const Zdt1 problem(8);
+  Pmo2Options o;
+  o.islands = 2;
+  o.generations = 20;
+  o.migration_interval = 5;
+  o.migration_probability = 0.0;
+  Pmo2 pmo2(problem, o, Pmo2::default_nsga2_factory(12));
+  pmo2.run();
+  EXPECT_EQ(pmo2.migrations_performed(), 0u);
+}
+
+TEST(Pmo2Test, ArchiveIsNondominatedAndConverges) {
+  const Zdt1 problem(12);
+  Pmo2Options o;
+  o.islands = 2;
+  o.generations = 80;
+  o.migration_interval = 20;
+  o.seed = 7;
+  Pmo2 pmo2(problem, o, Pmo2::default_nsga2_factory(40));
+  pmo2.run();
+
+  double err = 0.0;
+  for (const Individual& m : pmo2.archive().solutions()) {
+    err += std::fabs(m.f[1] - (1.0 - std::sqrt(m.f[0])));
+  }
+  err /= static_cast<double>(pmo2.archive().size());
+  EXPECT_LT(err, 0.1);
+}
+
+TEST(Pmo2Test, HeterogeneousIslands) {
+  const Zdt1 problem(8);
+  Pmo2Options o;
+  o.islands = 2;
+  o.generations = 15;
+  Pmo2::AlgorithmFactory factory = [](const Problem& p, std::uint64_t seed,
+                                      std::size_t island) -> std::unique_ptr<Algorithm> {
+    if (island == 0) {
+      Nsga2Options no;
+      no.population_size = 16;
+      no.seed = seed;
+      return std::make_unique<Nsga2>(p, no);
+    }
+    MoeadOptions mo;
+    mo.population_size = 16;
+    mo.seed = seed;
+    return std::make_unique<Moead>(p, mo);
+  };
+  Pmo2 pmo2(problem, o, factory);
+  pmo2.run();
+  EXPECT_EQ(pmo2.island(0).name(), "NSGA-II");
+  EXPECT_EQ(pmo2.island(1).name(), "MOEA/D");
+  EXPECT_FALSE(pmo2.archive().empty());
+}
+
+TEST(Pmo2Test, ObserverSeesEveryGeneration) {
+  const Zdt1 problem(6);
+  Pmo2Options o;
+  o.islands = 2;
+  o.generations = 12;
+  Pmo2 pmo2(problem, o, Pmo2::default_nsga2_factory(10));
+  std::size_t calls = 0;
+  pmo2.run([&](std::size_t gen, const Pmo2& state) {
+    ++calls;
+    EXPECT_EQ(gen, calls);
+    EXPECT_GE(state.archive().size(), 1u);
+  });
+  EXPECT_EQ(calls, 12u);
+}
+
+TEST(Pmo2Test, StepwiseApiMatchesGenerationCount) {
+  const Zdt1 problem(6);
+  Pmo2Options o;
+  o.islands = 3;
+  o.topology = TopologyKind::kRing;
+  Pmo2 pmo2(problem, o, Pmo2::default_nsga2_factory(10));
+  pmo2.initialize();
+  EXPECT_EQ(pmo2.generation(), 0u);
+  pmo2.step();
+  pmo2.step();
+  EXPECT_EQ(pmo2.generation(), 2u);
+}
+
+TEST(Pmo2Test, DeterministicForSeed) {
+  const Zdt3 problem(8);
+  Pmo2Options o;
+  o.islands = 2;
+  o.generations = 10;
+  o.seed = 123;
+  Pmo2 a(problem, o, Pmo2::default_nsga2_factory(12));
+  Pmo2 b(problem, o, Pmo2::default_nsga2_factory(12));
+  a.run();
+  b.run();
+  ASSERT_EQ(a.archive().size(), b.archive().size());
+}
+
+// Parameterized topology sweep: every topology must complete and archive.
+class Pmo2TopologyTest : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(Pmo2TopologyTest, RunsToCompletion) {
+  const Zdt1 problem(8);
+  Pmo2Options o;
+  o.islands = 4;
+  o.generations = 10;
+  o.migration_interval = 3;
+  o.topology = GetParam();
+  Pmo2 pmo2(problem, o, Pmo2::default_nsga2_factory(10));
+  pmo2.run();
+  EXPECT_GT(pmo2.archive().size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, Pmo2TopologyTest,
+                         ::testing::Values(TopologyKind::kAllToAll, TopologyKind::kRing,
+                                           TopologyKind::kStar, TopologyKind::kRandom));
+
+}  // namespace
+}  // namespace rmp::moo

@@ -1,0 +1,130 @@
+#include "moo/spea2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/dominance.hpp"
+#include "moo/nsga2.hpp"
+#include "moo/pmo2.hpp"
+#include "moo/testproblems.hpp"
+
+namespace rmp::moo {
+namespace {
+
+TEST(Spea2Test, InitializeFillsArchive) {
+  const Zdt1 problem(8);
+  Spea2Options o;
+  o.population_size = 20;
+  o.archive_size = 20;
+  Spea2 alg(problem, o);
+  alg.initialize();
+  EXPECT_EQ(alg.population().size(), 20u);
+  EXPECT_EQ(alg.evaluations(), 20u);
+}
+
+TEST(Spea2Test, ArchiveBoundedAfterSteps) {
+  const Zdt1 problem(8);
+  Spea2Options o;
+  o.population_size = 20;
+  o.archive_size = 16;
+  Spea2 alg(problem, o);
+  alg.run(10);
+  EXPECT_LE(alg.population().size(), 16u);
+  EXPECT_EQ(alg.evaluations(), 20u + 10u * 20u);
+}
+
+TEST(Spea2Test, ConvergesOnZdt1) {
+  const Zdt1 problem(12);
+  Spea2Options o;
+  o.population_size = 40;
+  o.archive_size = 40;
+  o.seed = 3;
+  Spea2 alg(problem, o);
+  alg.initialize();
+  auto error = [&]() {
+    double acc = 0.0;
+    for (const Individual& m : alg.population()) {
+      acc += std::fabs(m.f[1] - (1.0 - std::sqrt(m.f[0])));
+    }
+    return acc / static_cast<double>(alg.population().size());
+  };
+  const double initial = error();
+  for (int g = 0; g < 100; ++g) alg.step();
+  EXPECT_LT(error(), initial / 5.0);
+}
+
+TEST(Spea2Test, TruncationPreservesSpread) {
+  const Zdt1 problem(8);
+  Spea2Options o;
+  o.population_size = 40;
+  o.archive_size = 10;
+  o.seed = 4;
+  Spea2 alg(problem, o);
+  alg.run(40);
+  // The archive should span a nontrivial range of f0.
+  double min_f0 = 1e18, max_f0 = -1e18;
+  for (const Individual& m : alg.population()) {
+    min_f0 = std::min(min_f0, m.f[0]);
+    max_f0 = std::max(max_f0, m.f[0]);
+  }
+  EXPECT_GT(max_f0 - min_f0, 0.3);
+}
+
+TEST(Spea2Test, DeterministicForSeed) {
+  const Zdt3 problem(8);
+  Spea2Options o;
+  o.population_size = 16;
+  o.archive_size = 16;
+  o.seed = 9;
+  Spea2 a(problem, o), b(problem, o);
+  a.run(6);
+  b.run(6);
+  ASSERT_EQ(a.population().size(), b.population().size());
+  for (std::size_t i = 0; i < a.population().size(); ++i) {
+    EXPECT_EQ(a.population()[i].x, b.population()[i].x);
+  }
+}
+
+TEST(Spea2Test, WorksAsIslandEngine) {
+  // Heterogeneous archipelago: NSGA-II + SPEA2.
+  const Zdt1 problem(8);
+  Pmo2Options o;
+  o.islands = 2;
+  o.generations = 12;
+  o.migration_interval = 4;
+  Pmo2::AlgorithmFactory factory = [](const Problem& p, std::uint64_t seed,
+                                      std::size_t island) -> std::unique_ptr<Algorithm> {
+    if (island == 0) {
+      Spea2Options so;
+      so.population_size = 16;
+      so.archive_size = 16;
+      so.seed = seed;
+      return std::make_unique<Spea2>(p, so);
+    }
+    Nsga2Options no;
+    no.population_size = 16;
+    no.seed = seed;
+    return std::make_unique<Nsga2>(p, no);
+  };
+  Pmo2 pmo2(problem, o, factory);
+  pmo2.run();
+  EXPECT_EQ(pmo2.island(0).name(), "SPEA2");
+  EXPECT_GT(pmo2.archive().size(), 5u);
+}
+
+TEST(Spea2Test, HandlesConstrainedProblem) {
+  const BinhKorn problem;
+  Spea2Options o;
+  o.population_size = 30;
+  o.archive_size = 30;
+  o.seed = 6;
+  Spea2 alg(problem, o);
+  alg.run(40);
+  std::size_t feasible = 0;
+  for (const Individual& m : alg.population()) feasible += m.feasible();
+  EXPECT_GT(feasible, alg.population().size() / 2);
+}
+
+}  // namespace
+}  // namespace rmp::moo

@@ -1,0 +1,116 @@
+#include "moo/testproblems.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "numeric/rng.hpp"
+
+namespace rmp::moo {
+namespace {
+
+num::Vec eval(const Problem& p, const num::Vec& x) {
+  num::Vec f(p.num_objectives());
+  EXPECT_DOUBLE_EQ(p.evaluate(x, f), 0.0);
+  return f;
+}
+
+TEST(ZdtFormulaTest, Zdt1KnownFrontPoints) {
+  // On the Pareto set (x1..xn = 0): f2 = 1 - sqrt(f1).
+  const Zdt1 p(10);
+  for (const double x0 : {0.0, 0.25, 0.49, 1.0}) {
+    num::Vec x(10, 0.0);
+    x[0] = x0;
+    const num::Vec f = eval(p, x);
+    EXPECT_DOUBLE_EQ(f[0], x0);
+    EXPECT_NEAR(f[1], 1.0 - std::sqrt(x0), 1e-12);
+  }
+}
+
+TEST(ZdtFormulaTest, Zdt2KnownFrontPoints) {
+  const Zdt2 p(10);
+  num::Vec x(10, 0.0);
+  x[0] = 0.5;
+  const num::Vec f = eval(p, x);
+  EXPECT_NEAR(f[1], 1.0 - 0.25, 1e-12);
+}
+
+TEST(ZdtFormulaTest, Zdt3OscillatingTerm) {
+  const Zdt3 p(10);
+  num::Vec x(10, 0.0);
+  x[0] = 0.2;
+  const num::Vec f = eval(p, x);
+  EXPECT_NEAR(f[1],
+              1.0 - std::sqrt(0.2) - 0.2 * std::sin(10.0 * std::numbers::pi * 0.2),
+              1e-12);
+}
+
+TEST(ZdtFormulaTest, Zdt4GAtOptimum) {
+  const Zdt4 p(6);
+  num::Vec x(6, 0.0);
+  x[0] = 0.36;
+  const num::Vec f = eval(p, x);
+  // g = 1 at the optimum (all xi = 0 for i >= 1).
+  EXPECT_NEAR(f[1], 1.0 - std::sqrt(0.36), 1e-12);
+}
+
+TEST(ZdtFormulaTest, Zdt4BoundsAsymmetric) {
+  const Zdt4 p(6);
+  EXPECT_DOUBLE_EQ(p.lower_bounds()[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.lower_bounds()[1], -5.0);
+  EXPECT_DOUBLE_EQ(p.upper_bounds()[1], 5.0);
+}
+
+TEST(ZdtFormulaTest, Zdt6NonUniform) {
+  const Zdt6 p(6);
+  num::Vec x(6, 0.0);
+  const num::Vec f = eval(p, x);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // 1 - exp(0)*sin(0)^6 = 1
+}
+
+TEST(DtlzTest, Dtlz2SphericalFrontAtOptimum) {
+  const Dtlz2 p(12, 3);
+  num::Vec x(12, 0.5);  // distance variables at 0.5 -> g = 0
+  const num::Vec f = eval(p, x);
+  EXPECT_NEAR(num::dot(f, f), 1.0, 1e-9);  // sum f_i^2 = 1
+}
+
+TEST(SchafferTest, MinimaAtZeroAndTwo) {
+  const Schaffer p;
+  EXPECT_DOUBLE_EQ(eval(p, {0.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(eval(p, {2.0})[1], 0.0);
+}
+
+TEST(KursaweTest, FiniteOverBox) {
+  const Kursawe p;
+  num::Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    num::Vec x{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    num::Vec f(2);
+    (void)p.evaluate(x, f);
+    EXPECT_TRUE(num::all_finite(f));
+  }
+}
+
+TEST(BinhKornTest, ConstraintViolationSemantics) {
+  const BinhKorn p;
+  num::Vec f(2);
+  // (0, 0) is feasible (inside circle 1, outside circle 2).
+  EXPECT_DOUBLE_EQ(p.evaluate(num::Vec{0.0, 0.0}, f), 0.0);
+  // (5, 3) violates g1: (0)^2 + 9 <= 25 ok... pick a violating point (0, 3):
+  // g1 = 25 + 9 - 25 = 9 > 0.
+  EXPECT_GT(p.evaluate(num::Vec{0.0, 3.0}, f), 0.0);
+}
+
+TEST(ProblemNamesTest, AllNamed) {
+  EXPECT_EQ(Zdt1(5).name(), "ZDT1");
+  EXPECT_EQ(Zdt4(5).name(), "ZDT4");
+  EXPECT_EQ(Dtlz2(7, 3).name(), "DTLZ2");
+  EXPECT_EQ(Schaffer().name(), "Schaffer");
+  EXPECT_EQ(BinhKorn().name(), "Binh-Korn");
+}
+
+}  // namespace
+}  // namespace rmp::moo

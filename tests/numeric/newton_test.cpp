@@ -1,0 +1,106 @@
+#include "numeric/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rmp::num {
+namespace {
+
+TEST(NewtonTest, ScalarRoot) {
+  // F(x) = x^2 - 4: root at 2 from positive start.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] * x[0] - 4.0;
+  };
+  const NewtonResult r = solve_newton(f, Vec{5.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-8);
+}
+
+TEST(NewtonTest, TwoDimensionalSystem) {
+  // x^2 + y^2 = 5, x*y = 2  ->  (x, y) = (2, 1) near the start (2.5, 0.5).
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] * x[0] + x[1] * x[1] - 5.0;
+    out[1] = x[0] * x[1] - 2.0;
+  };
+  const NewtonResult r = solve_newton(f, Vec{2.5, 0.5});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-7);
+}
+
+TEST(NewtonTest, LinearSystemOneIteration) {
+  // F(x) = A x - b converges in a single Newton step.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = 2.0 * x[0] + x[1] - 3.0;
+    out[1] = x[0] - x[1];
+  };
+  const NewtonResult r = solve_newton(f, Vec{10.0, -10.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+  EXPECT_LE(r.iterations, 3u);
+}
+
+TEST(NewtonTest, DampingRescuesOvershoot) {
+  // F(x) = atan(x): full Newton steps diverge from |x0| >~ 1.39; the
+  // backtracking line search must still converge.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = std::atan(x[0]);
+  };
+  const NewtonResult r = solve_newton(f, Vec{3.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-8);
+}
+
+TEST(NewtonTest, StateFloorKeepsPositive) {
+  // Root of x - 2 = 0 with floor 0.5; iterates must never dip below.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = std::log(x[0] / 2.0);  // needs x > 0 to evaluate
+  };
+  NewtonOptions opts;
+  opts.state_floor = 1e-6;
+  const NewtonResult r = solve_newton(f, Vec{0.1}, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(NewtonTest, ReportsFailureOnNoRoot) {
+  // F(x) = x^2 + 1 has no real root: must not claim convergence.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] * x[0] + 1.0;
+  };
+  NewtonOptions opts;
+  opts.max_iterations = 30;
+  const NewtonResult r = solve_newton(f, Vec{1.0}, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GE(r.residual_norm, 0.5);
+}
+
+TEST(NewtonTest, AlreadyAtRoot) {
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] - 1.0;
+  };
+  const NewtonResult r = solve_newton(f, Vec{1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+// Parameterized: roots of x^3 - c for several c, from a far start.
+class NewtonCubeRoot : public ::testing::TestWithParam<double> {};
+
+TEST_P(NewtonCubeRoot, Converges) {
+  const double c = GetParam();
+  const NonlinearSystem f = [c](std::span<const double> x, Vec& out) {
+    out[0] = x[0] * x[0] * x[0] - c;
+  };
+  const NewtonResult r = solve_newton(f, Vec{10.0});
+  ASSERT_TRUE(r.converged) << "c = " << c;
+  EXPECT_NEAR(r.x[0], std::cbrt(c), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, NewtonCubeRoot,
+                         ::testing::Values(0.001, 0.5, 1.0, 8.0, 1000.0));
+
+}  // namespace
+}  // namespace rmp::num

@@ -1,0 +1,181 @@
+#include "numeric/ode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rmp::num {
+namespace {
+
+// y' = -y, y(0) = 1  =>  y(t) = exp(-t).
+const OdeRhs kDecay = [](double, std::span<const double> y, Vec& d) {
+  d[0] = -y[0];
+};
+
+// Harmonic oscillator: y'' = -y as a 2-state system; energy is conserved.
+const OdeRhs kOscillator = [](double, std::span<const double> y, Vec& d) {
+  d[0] = y[1];
+  d[1] = -y[0];
+};
+
+// Classic stiff problem: y' = -1000 (y - cos(t)) - sin(t); y -> cos(t).
+const OdeRhs kStiff = [](double t, std::span<const double> y, Vec& d) {
+  d[0] = -1000.0 * (y[0] - std::cos(t)) - std::sin(t);
+};
+
+struct MethodParam {
+  OdeMethod method;
+  double tolerance;  // acceptance tolerance on the final value
+};
+
+class OdeMethodTest : public ::testing::TestWithParam<MethodParam> {};
+
+TEST_P(OdeMethodTest, ExponentialDecay) {
+  OdeOptions opts;
+  opts.method = GetParam().method;
+  opts.initial_step = 1e-3;
+  const OdeResult r = integrate(kDecay, 0.0, Vec{1.0}, 2.0, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_NEAR(r.y[0], std::exp(-2.0), GetParam().tolerance);
+}
+
+TEST_P(OdeMethodTest, OscillatorPhase) {
+  OdeOptions opts;
+  opts.method = GetParam().method;
+  opts.initial_step = 1e-3;
+  opts.abs_tol = 1e-9;
+  opts.rel_tol = 1e-8;
+  const double t_end = 3.14159265358979323846;  // half period
+  const OdeResult r = integrate(kOscillator, 0.0, Vec{1.0, 0.0}, t_end, opts);
+  ASSERT_TRUE(r.success);
+  // After half a period the state is (-1, 0).
+  EXPECT_NEAR(r.y[0], -1.0, 50 * GetParam().tolerance);
+  EXPECT_NEAR(r.y[1], 0.0, 50 * GetParam().tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, OdeMethodTest,
+    ::testing::Values(MethodParam{OdeMethod::kRk4, 1e-6},
+                      MethodParam{OdeMethod::kCashKarp45, 1e-6},
+                      MethodParam{OdeMethod::kDormandPrince54, 1e-6},
+                      MethodParam{OdeMethod::kRosenbrockW, 1e-4},
+                      MethodParam{OdeMethod::kImplicitEuler, 2e-2}));
+
+TEST(OdeTest, StiffProblemWithRosenbrock) {
+  OdeOptions opts;
+  opts.method = OdeMethod::kRosenbrockW;
+  opts.initial_step = 1e-4;
+  opts.max_step = 0.5;
+  const OdeResult r = integrate(kStiff, 0.0, Vec{0.0}, 5.0, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_NEAR(r.y[0], std::cos(5.0), 1e-3);
+}
+
+TEST(OdeTest, StiffProblemWithImplicitEuler) {
+  OdeOptions opts;
+  opts.method = OdeMethod::kImplicitEuler;
+  opts.initial_step = 1e-3;
+  opts.max_step = 0.05;
+  const OdeResult r = integrate(kStiff, 0.0, Vec{0.0}, 5.0, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_NEAR(r.y[0], std::cos(5.0), 5e-2);
+}
+
+TEST(OdeTest, StiffProblemExplicitIsStabilityLimited) {
+  // At loose accuracy the explicit method is limited by stability (step size
+  // ~ 2.8/1000 regardless of tolerance) while the L-stable Rosenbrock method
+  // is limited only by accuracy — this is why the stiff path exists.
+  OdeOptions opts;
+  opts.method = OdeMethod::kDormandPrince54;
+  opts.abs_tol = 1e-6;
+  opts.rel_tol = 1e-4;
+  const OdeResult explicit_r = integrate(kStiff, 0.0, Vec{0.0}, 5.0, opts);
+  ASSERT_TRUE(explicit_r.success);
+  EXPECT_NEAR(explicit_r.y[0], std::cos(5.0), 1e-3);
+  const std::size_t explicit_attempts = explicit_r.steps + explicit_r.rejected;
+
+  opts.method = OdeMethod::kRosenbrockW;
+  opts.initial_step = 1e-4;
+  opts.max_step = 0.5;
+  const OdeResult stiff_r = integrate(kStiff, 0.0, Vec{0.0}, 5.0, opts);
+  ASSERT_TRUE(stiff_r.success);
+  EXPECT_NEAR(stiff_r.y[0], std::cos(5.0), 1e-3);
+  EXPECT_LT(stiff_r.steps + stiff_r.rejected, explicit_attempts / 5);
+}
+
+TEST(OdeTest, AdaptiveTightensWithTolerance) {
+  OdeOptions loose;
+  loose.method = OdeMethod::kDormandPrince54;
+  loose.abs_tol = 1e-4;
+  loose.rel_tol = 1e-3;
+  OdeOptions tight = loose;
+  tight.abs_tol = 1e-12;
+  tight.rel_tol = 1e-11;
+
+  const OdeResult rl = integrate(kDecay, 0.0, Vec{1.0}, 2.0, loose);
+  const OdeResult rt = integrate(kDecay, 0.0, Vec{1.0}, 2.0, tight);
+  ASSERT_TRUE(rl.success && rt.success);
+  const double exact = std::exp(-2.0);
+  EXPECT_LE(std::fabs(rt.y[0] - exact), std::fabs(rl.y[0] - exact) + 1e-15);
+  EXPECT_GT(rt.steps, rl.steps);
+}
+
+TEST(OdeTest, StateFloorEnforced) {
+  OdeOptions opts;
+  opts.method = OdeMethod::kDormandPrince54;
+  opts.state_floor = 0.0;
+  // Aggressive decay would overshoot below zero with large steps; the floor
+  // keeps concentrations physical.
+  const OdeRhs f = [](double, std::span<const double> y, Vec& d) {
+    d[0] = -5.0 * y[0] - 0.1;
+  };
+  const OdeResult r = integrate(f, 0.0, Vec{1.0}, 10.0, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.y[0], 0.0);
+}
+
+TEST(OdeTest, SteadyStateOfRelaxation) {
+  // y' = 3 - y has the fixed point y = 3.
+  const OdeRhs f = [](double, std::span<const double> y, Vec& d) {
+    d[0] = 3.0 - y[0];
+  };
+  SteadyStateOptions opts;
+  opts.derivative_tol = 1e-10;
+  opts.max_time = 100.0;
+  const OdeResult r = integrate_to_steady_state(f, Vec{0.0}, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_NEAR(r.y[0], 3.0, 1e-8);
+}
+
+TEST(OdeTest, SteadyStateTimesOutOnDrift) {
+  // y' = 1 never settles: success must be false.
+  const OdeRhs f = [](double, std::span<const double>, Vec& d) { d[0] = 1.0; };
+  SteadyStateOptions opts;
+  opts.max_time = 5.0;
+  const OdeResult r = integrate_to_steady_state(f, Vec{0.0}, opts);
+  EXPECT_FALSE(r.success);
+  EXPECT_NEAR(r.y[0], 5.0, 1e-6);
+}
+
+TEST(OdeTest, NumericJacobianOfLinearSystem) {
+  // f = A y with A = [[1, 2], [3, 4]]: the Jacobian is A itself.
+  const OdeRhs f = [](double, std::span<const double> y, Vec& d) {
+    d[0] = 1.0 * y[0] + 2.0 * y[1];
+    d[1] = 3.0 * y[0] + 4.0 * y[1];
+  };
+  const Matrix j = numeric_jacobian(f, 0.0, Vec{1.0, 1.0});
+  EXPECT_NEAR(j(0, 0), 1.0, 1e-5);
+  EXPECT_NEAR(j(0, 1), 2.0, 1e-5);
+  EXPECT_NEAR(j(1, 0), 3.0, 1e-5);
+  EXPECT_NEAR(j(1, 1), 4.0, 1e-5);
+}
+
+TEST(OdeTest, ZeroLengthIntervalIsIdentity) {
+  const OdeResult r = integrate(kDecay, 1.0, Vec{0.7}, 1.0, {});
+  EXPECT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.y[0], 0.7);
+  EXPECT_EQ(r.steps, 0u);
+}
+
+}  // namespace
+}  // namespace rmp::num

@@ -1,0 +1,85 @@
+#include "pareto/front.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmp::pareto {
+namespace {
+
+Individual make(double f0, double f1, double violation = 0.0) {
+  Individual ind;
+  ind.f = {f0, f1};
+  ind.x = {f0};
+  ind.violation = violation;
+  return ind;
+}
+
+TEST(FrontTest, FromPopulationFiltersDominated) {
+  std::vector<Individual> pop{make(1.0, 4.0), make(2.0, 3.0), make(3.0, 3.5),
+                              make(4.0, 1.0)};
+  const Front f = Front::from_population(pop);
+  EXPECT_EQ(f.size(), 3u);  // (3, 3.5) dominated by (2, 3)
+}
+
+TEST(FrontTest, FromPopulationDropsInfeasible) {
+  std::vector<Individual> pop{make(1.0, 1.0, 2.0), make(5.0, 5.0)};
+  const Front f = Front::from_population(pop);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].f, (num::Vec{5.0, 5.0}));
+}
+
+TEST(FrontTest, FromPopulationDeduplicates) {
+  std::vector<Individual> pop{make(1.0, 2.0), make(1.0, 2.0), make(2.0, 1.0)};
+  const Front f = Front::from_population(pop);
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FrontTest, SortByObjective) {
+  Front f;
+  f.add(make(3.0, 1.0));
+  f.add(make(1.0, 3.0));
+  f.add(make(2.0, 2.0));
+  f.sort_by_objective(0);
+  EXPECT_DOUBLE_EQ(f[0].f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[2].f[0], 3.0);
+  f.sort_by_objective(1);
+  EXPECT_DOUBLE_EQ(f[0].f[1], 1.0);
+}
+
+TEST(FrontTest, RelativeMinimumAndMaximum) {
+  Front f;
+  f.add(make(1.0, 5.0));
+  f.add(make(3.0, 2.0));
+  EXPECT_EQ(f.relative_minimum(), (num::Vec{1.0, 2.0}));
+  EXPECT_EQ(f.relative_maximum(), (num::Vec{3.0, 5.0}));
+}
+
+TEST(FrontTest, RemoveDominatedAfterConcatenation) {
+  Front f;
+  f.add(make(1.0, 3.0));
+  f.add(make(2.0, 2.0));
+  f.add(make(1.5, 2.5));  // non-dominated
+  f.add(make(2.5, 2.5));  // dominated by (2,2)
+  f.remove_dominated();
+  EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(FrontTest, GlobalUnion) {
+  Front a, b;
+  a.add(make(1.0, 4.0));
+  a.add(make(4.0, 1.0));
+  b.add(make(2.0, 2.0));
+  b.add(make(5.0, 5.0));  // dominated by everything in b and a
+  const std::vector<Front> fronts{a, b};
+  const Front u = Front::global_union(fronts);
+  EXPECT_EQ(u.size(), 3u);
+}
+
+TEST(FrontTest, EmptyFrontBehaviour) {
+  const Front f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.relative_minimum().empty());
+  EXPECT_EQ(f.num_objectives(), 0u);
+}
+
+}  // namespace
+}  // namespace rmp::pareto

@@ -1,0 +1,131 @@
+#include "pareto/hypervolume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/rng.hpp"
+
+namespace rmp::pareto {
+namespace {
+
+TEST(HypervolumeTest, SinglePoint2d) {
+  const std::vector<num::Vec> pts{{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts, num::Vec{3.0, 3.0}), 4.0);
+}
+
+TEST(HypervolumeTest, TwoNonDominatedPoints) {
+  // (1,2) and (2,1) vs ref (3,3): union area = 2*1 + 1*2 - 1*1 = 3.
+  const std::vector<num::Vec> pts{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts, num::Vec{3.0, 3.0}), 3.0);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  const std::vector<num::Vec> base{{1.0, 1.0}};
+  const std::vector<num::Vec> with_dominated{{1.0, 1.0}, {2.0, 2.0}};
+  const num::Vec ref{3.0, 3.0};
+  EXPECT_DOUBLE_EQ(hypervolume(base, ref), hypervolume(with_dominated, ref));
+}
+
+TEST(HypervolumeTest, PointOutsideReferenceIgnored) {
+  const std::vector<num::Vec> pts{{1.0, 1.0}, {4.0, 0.0}};  // second outside ref0
+  EXPECT_DOUBLE_EQ(hypervolume(pts, num::Vec{3.0, 3.0}), 4.0);
+}
+
+TEST(HypervolumeTest, EmptySetIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume(std::vector<num::Vec>{}, num::Vec{1.0, 1.0}), 0.0);
+}
+
+TEST(HypervolumeTest, MonotoneInPoints) {
+  // Adding a non-dominated point can only increase the hypervolume.
+  num::Rng rng(5);
+  const num::Vec ref{1.0, 1.0};
+  std::vector<num::Vec> pts;
+  double last = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+    const double hv = hypervolume(pts, ref);
+    EXPECT_GE(hv, last - 1e-12);
+    last = hv;
+  }
+}
+
+TEST(HypervolumeTest, LinearFrontAnalytic) {
+  // Dense staircase on f0 + f1 = 1 vs ref (1,1): area -> 0.5 from below.
+  std::vector<num::Vec> pts;
+  const int n = 2000;
+  for (int i = 0; i <= n; ++i) {
+    const double t = static_cast<double>(i) / n;
+    pts.push_back({t, 1.0 - t});
+  }
+  EXPECT_NEAR(hypervolume(pts, num::Vec{1.0, 1.0}), 0.5, 1e-3);
+}
+
+TEST(HypervolumeTest, ThreeDimensionalBox) {
+  const std::vector<num::Vec> pts{{0.0, 0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts, num::Vec{2.0, 3.0, 4.0}), 24.0);
+}
+
+TEST(HypervolumeTest, ThreeDimensionalUnion) {
+  // Two unit-corner boxes overlapping in a known region.
+  const std::vector<num::Vec> pts{{0.0, 1.0, 1.0}, {1.0, 0.0, 0.0}};
+  const num::Vec ref{2.0, 2.0, 2.0};
+  // Box A: [0,2]x[1,2]x[1,2] volume 2; box B: [1,2]x[0,2]x[0,2] volume 4;
+  // intersection: [1,2]x[1,2]x[1,2] volume 1 -> union 5.
+  EXPECT_DOUBLE_EQ(hypervolume(pts, ref), 5.0);
+}
+
+TEST(HypervolumeTest, WfgMatchesMonteCarlo3d) {
+  num::Rng rng(11);
+  std::vector<num::Vec> pts;
+  for (int i = 0; i < 8; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  const num::Vec ref{1.0, 1.0, 1.0};
+  const double hv = hypervolume(pts, ref);
+
+  // Monte-Carlo estimate of the dominated volume.
+  int dominated = 0;
+  const int samples = 200000;
+  for (int s = 0; s < samples; ++s) {
+    const num::Vec q{rng.uniform(), rng.uniform(), rng.uniform()};
+    for (const num::Vec& p : pts) {
+      if (p[0] <= q[0] && p[1] <= q[1] && p[2] <= q[2]) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(hv, static_cast<double>(dominated) / samples, 0.01);
+}
+
+TEST(NormalizedHypervolumeTest, FullCoverageNearOne) {
+  Front f;
+  Individual best;
+  best.f = {0.0, 0.0};
+  f.add(best);
+  const double v = normalized_hypervolume(f, {0.0, 0.0}, {1.0, 1.0});
+  EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+TEST(NormalizedHypervolumeTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(normalized_hypervolume(Front{}, {0.0, 0.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(NormalizedHypervolumeTest, BetterFrontScoresHigher) {
+  Front good, bad;
+  for (int i = 0; i <= 10; ++i) {
+    const double t = i / 10.0;
+    Individual g, b;
+    g.f = {t, 1.0 - t};            // on the line
+    b.f = {t, 1.0 - 0.5 * t};      // worse in f1
+    good.add(g);
+    bad.add(b);
+  }
+  const num::Vec ideal{0.0, 0.0}, nadir{1.0, 1.0};
+  EXPECT_GT(normalized_hypervolume(good, ideal, nadir),
+            normalized_hypervolume(bad, ideal, nadir));
+}
+
+}  // namespace
+}  // namespace rmp::pareto

@@ -1,0 +1,122 @@
+#include "pareto/mining.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rmp::pareto {
+namespace {
+
+Individual make(double f0, double f1) {
+  Individual ind;
+  ind.f = {f0, f1};
+  ind.x = {f0};
+  return ind;
+}
+
+/// Convex quarter-circle front: f1 = 1 - sqrt(1 - (1-f0)^2)... simpler:
+/// points on f0 + f1 = 1.
+Front line_front(std::size_t n) {
+  Front f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    f.add(make(t, 1.0 - t));
+  }
+  return f;
+}
+
+TEST(MiningTest, ClosestToIdealOnSymmetricFront) {
+  const Front f = line_front(11);
+  // Ideal is (0, 0); the middle point (0.5, 0.5) is closest in Euclidean
+  // normalized space.
+  const std::size_t idx = closest_to_ideal(f);
+  EXPECT_NEAR(f[idx].f[0], 0.5, 1e-9);
+}
+
+TEST(MiningTest, ClosestToIdealWithExplicitIdeal) {
+  const Front f = line_front(11);
+  // Target near the f0-minimum corner.
+  const std::size_t idx =
+      closest_to_ideal(f, DistanceMetric::kEuclidean, num::Vec{0.0, 1.0});
+  EXPECT_NEAR(f[idx].f[0], 0.0, 1e-9);
+}
+
+TEST(MiningTest, MetricsAgreeOnSymmetricFront) {
+  const Front f = line_front(21);
+  const std::size_t e = closest_to_ideal(f, DistanceMetric::kEuclidean);
+  const std::size_t c = closest_to_ideal(f, DistanceMetric::kChebyshev);
+  EXPECT_NEAR(f[e].f[0], 0.5, 1e-9);
+  EXPECT_NEAR(f[c].f[0], 0.5, 1e-9);
+}
+
+TEST(MiningTest, NormalizationHandlesScaleDifference) {
+  // Same front but f1 scaled by 1e5 (CO2 vs nitrogen scales): the normalized
+  // closest-to-ideal must still be the middle.
+  Front f;
+  for (int i = 0; i <= 10; ++i) {
+    const double t = i / 10.0;
+    f.add(make(t, (1.0 - t) * 1e5));
+  }
+  const std::size_t idx = closest_to_ideal(f);
+  EXPECT_NEAR(f[idx].f[0], 0.5, 1e-9);
+}
+
+TEST(MiningTest, ShadowMinima) {
+  Front f;
+  f.add(make(1.0, 9.0));
+  f.add(make(5.0, 5.0));
+  f.add(make(9.0, 1.0));
+  const auto shadows = shadow_minima(f);
+  ASSERT_EQ(shadows.size(), 2u);
+  EXPECT_DOUBLE_EQ(f[shadows[0]].f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[shadows[1]].f[1], 1.0);
+}
+
+TEST(MiningTest, EquallySpacedIncludesExtremes) {
+  const Front f = line_front(101);
+  const auto picks = equally_spaced(f, 5);
+  ASSERT_GE(picks.size(), 2u);
+  double min_f0 = 1e18, max_f0 = -1e18;
+  for (std::size_t p : picks) {
+    min_f0 = std::min(min_f0, f[p].f[0]);
+    max_f0 = std::max(max_f0, f[p].f[0]);
+  }
+  EXPECT_NEAR(min_f0, 0.0, 1e-9);
+  EXPECT_NEAR(max_f0, 1.0, 1e-9);
+}
+
+TEST(MiningTest, EquallySpacedApproximatelyUniform) {
+  const Front f = line_front(101);
+  const auto picks = equally_spaced(f, 11);
+  ASSERT_EQ(picks.size(), 11u);
+  std::vector<double> f0s;
+  for (std::size_t p : picks) f0s.push_back(f[p].f[0]);
+  std::sort(f0s.begin(), f0s.end());
+  for (std::size_t i = 1; i < f0s.size(); ++i) {
+    EXPECT_NEAR(f0s[i] - f0s[i - 1], 0.1, 0.03);
+  }
+}
+
+TEST(MiningTest, EquallySpacedMoreThanFrontSizeReturnsAll) {
+  const Front f = line_front(5);
+  const auto picks = equally_spaced(f, 50);
+  EXPECT_EQ(picks.size(), 5u);
+}
+
+TEST(MiningTest, EquallySpacedSinglePick) {
+  const Front f = line_front(11);
+  const auto picks = equally_spaced(f, 1);
+  ASSERT_EQ(picks.size(), 1u);
+}
+
+TEST(MiningTest, SingletonFront) {
+  Front f;
+  f.add(make(2.0, 3.0));
+  EXPECT_EQ(closest_to_ideal(f), 0u);
+  const auto shadows = shadow_minima(f);
+  EXPECT_EQ(shadows[0], 0u);
+  EXPECT_EQ(shadows[1], 0u);
+}
+
+}  // namespace
+}  // namespace rmp::pareto
