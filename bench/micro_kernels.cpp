@@ -3,10 +3,14 @@
 // solves (Newton vs integration), the LP solve, and the null-space repair.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "core/parallel.hpp"
 #include "fba/fba.hpp"
 #include "fba/geobacter_problem.hpp"
 #include "kinetics/scenarios.hpp"
 #include "moo/dominance.hpp"
+#include "moo/testproblems.hpp"
 #include "numeric/ode.hpp"
 #include "numeric/rng.hpp"
 #include "pareto/hypervolume.hpp"
@@ -130,6 +134,61 @@ void BM_NullspaceRepair(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NullspaceRepair)->Unit(benchmark::kMicrosecond);
+
+// Serial-vs-parallel batch evaluation (core::evaluate_batch).  The problem
+// wraps ZDT1 in a fixed amount of deterministic per-evaluation arithmetic so
+// each call costs roughly what a small kinetic solve does; the speedup of
+// threads=0 (auto) over threads=1 (serial) is the pool's scaling factor on
+// the host.  Identical results are guaranteed for every thread count.
+class CostlyZdt1 final : public moo::Problem {
+ public:
+  explicit CostlyZdt1(std::size_t n, std::size_t work) : inner_(n), work_(work) {}
+  std::size_t num_variables() const override { return inner_.num_variables(); }
+  std::size_t num_objectives() const override { return inner_.num_objectives(); }
+  std::span<const double> lower_bounds() const override {
+    return inner_.lower_bounds();
+  }
+  std::span<const double> upper_bounds() const override {
+    return inner_.upper_bounds();
+  }
+  double evaluate(std::span<const double> x,
+                  std::span<double> objectives) const override {
+    double burn = 0.0;
+    for (std::size_t i = 0; i < work_; ++i) {
+      burn += std::sin(static_cast<double>(i) + x[0]);
+    }
+    benchmark::DoNotOptimize(burn);
+    return inner_.evaluate(x, objectives);
+  }
+
+ private:
+  moo::Zdt1 inner_;
+  std::size_t work_;
+};
+
+void BM_EvaluateBatch(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const CostlyZdt1 problem(12, 2000);
+  num::Rng rng(9);
+  std::vector<moo::Individual> batch(batch_size);
+  for (auto& ind : batch) {
+    ind.x.resize(problem.num_variables());
+    for (double& v : ind.x) v = rng.uniform();
+  }
+  for (auto _ : state) {
+    core::evaluate_batch(problem, batch, threads);
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.counters["threads"] =
+      static_cast<double>(threads == 0 ? core::resolve_threads(0) : threads);
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(batch_size), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_EvaluateBatch)
+    ->ArgsProduct({{256, 1024}, {1, 0}})
+    ->Unit(benchmark::kMicrosecond)
+    ->ArgNames({"batch", "threads"});
 
 void BM_ViolationNorm(benchmark::State& state) {
   static const fba::MetabolicNetwork net = fba::build_geobacter();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: configure Release with warnings-as-errors on the rmp
+# library targets, build everything, run the full CTest suite (the tier-1
+# verify command), and smoke-run the parallel-evaluation micro-kernel.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DRMP_WERROR=ON
+
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Report the serial-vs-parallel batch-evaluation scaling when the
+# google-benchmark-backed micro-kernel suite was built.
+if [[ -x "${BUILD_DIR}/bench/micro_kernels" ]]; then
+  "${BUILD_DIR}/bench/micro_kernels" --benchmark_filter=BM_EvaluateBatch
+fi

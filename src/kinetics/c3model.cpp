@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/parallel.hpp"
+
 #include "numeric/newton.hpp"
 
 namespace rmp::kinetics {
@@ -395,15 +397,21 @@ SteadyState C3Model::newton_attempt(std::span<const double> start,
 
 namespace {
 /// Warm-start cache: the steady state of the previous successful evaluation
-/// on this thread.  Population-based optimizers evaluate similar candidates
-/// back to back, so this start succeeds far more often than any fixed
-/// anchor.  Keyed by model identity; purely an accelerator (results are
-/// Newton roots either way).
+/// on this thread.  Sequential callers evaluate similar candidates back to
+/// back, so this start succeeds far more often than any fixed anchor.
+/// Keyed by model identity; an accelerator whose result can differ in a
+/// Newton root's low-order bits from an anchor start — which is why it is
+/// bypassed entirely inside core parallel regions: there the item-to-thread
+/// assignment (and hence this cache's content) is nondeterministic, and the
+/// batch evaluator guarantees results that are a pure function of the
+/// candidate for any thread count.
 struct TlsWarmStart {
   const void* model = nullptr;
   num::Vec state;
 };
 thread_local TlsWarmStart tls_warm;
+
+bool warm_start_allowed() { return !core::in_deterministic_region(); }
 }  // namespace
 
 SteadyState C3Model::steady_state(std::span<const double> mult) const {
@@ -419,8 +427,10 @@ SteadyState C3Model::steady_state(std::span<const double> mult) const {
   auto consider = [&](SteadyState ss) -> std::optional<SteadyState> {
     if (!ss.converged) return std::nullopt;
     if (ss.co2_uptake > kAliveUptake) {
-      tls_warm.model = this;
-      tls_warm.state = ss.state;
+      if (warm_start_allowed()) {
+        tls_warm.model = this;
+        tls_warm.state = ss.state;
+      }
       return ss;
     }
     if (!dead) dead = std::move(ss);
@@ -429,7 +439,7 @@ SteadyState C3Model::steady_state(std::span<const double> mult) const {
 
   // 1. Cheap Newton attempts: warm start (always a living state), then the
   //    anchor ladder.
-  if (tls_warm.model == this && !tls_warm.state.empty()) {
+  if (warm_start_allowed() && tls_warm.model == this && !tls_warm.state.empty()) {
     if (auto alive = consider(newton_attempt(tls_warm.state, mult))) return *alive;
   }
   for (const num::Vec& anchor : anchors_) {

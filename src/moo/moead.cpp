@@ -6,6 +6,8 @@
 #include <limits>
 #include <numeric>
 
+#include "core/parallel.hpp"
+
 namespace rmp::moo {
 
 Moead::Moead(const Problem& problem, MoeadOptions options)
@@ -130,10 +132,10 @@ void Moead::initialize() {
     for (std::size_t v = 0; v < n; ++v) ind.x[v] = rng_.uniform(lo[v], hi[v]);
     problem_.repair(ind.x);
     num::clamp_inplace(ind.x, lo, hi);
-    evaluate(ind);
-    update_ideal(ind.f);
     pop_.push_back(std::move(ind));
   }
+  evaluations_ += core::evaluate_batch(problem_, pop_, opts_.eval_threads);
+  for (const Individual& ind : pop_) update_ideal(ind.f);
 }
 
 void Moead::step() {

@@ -22,6 +22,10 @@ struct MoeadOptions {
   VariationParams variation;
   std::uint64_t seed = 1;
   double violation_penalty = 1e6;  ///< added to the scalarized cost
+  /// Threads used to evaluate the initial population batch (0 = hardware
+  /// concurrency, 1 = serial).  step() stays sequential by construction:
+  /// each child's bounded replacement feeds the next child's mating pool.
+  std::size_t eval_threads = 0;
 };
 
 class Moead final : public Algorithm {

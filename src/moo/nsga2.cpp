@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/parallel.hpp"
 #include "moo/dominance.hpp"
 
 namespace rmp::moo {
@@ -12,12 +13,6 @@ Nsga2::Nsga2(const Problem& problem, Nsga2Options options)
   assert(opts_.population_size >= 4);
   // Even population keeps the pairwise mating loop simple.
   if (opts_.population_size % 2 != 0) ++opts_.population_size;
-}
-
-void Nsga2::evaluate(Individual& ind) {
-  ind.f.assign(problem_.num_objectives(), 0.0);
-  ind.violation = problem_.evaluate(ind.x, ind.f);
-  ++evaluations_;
 }
 
 void Nsga2::initialize() {
@@ -40,7 +35,6 @@ void Nsga2::initialize() {
       ind.x = std::move(seeds[s]);
       ind.x.resize(n);
       num::clamp_inplace(ind.x, lo, hi);
-      evaluate(ind);
       pop_.push_back(std::move(ind));
     }
   }
@@ -51,9 +45,10 @@ void Nsga2::initialize() {
     for (std::size_t i = 0; i < n; ++i) ind.x[i] = rng_.uniform(lo[i], hi[i]);
     problem_.repair(ind.x);
     num::clamp_inplace(ind.x, lo, hi);
-    evaluate(ind);
     pop_.push_back(std::move(ind));
   }
+
+  evaluations_ += core::evaluate_batch(problem_, pop_, opts_.eval_threads);
 
   const auto fronts = fast_nondominated_sort(pop_);
   for (const auto& front : fronts) assign_crowding_distance(pop_, front);
@@ -80,10 +75,14 @@ void Nsga2::step() {
       num::clamp_inplace(*child, lo, hi);
       Individual ind;
       ind.x = *child;
-      evaluate(ind);
       merged.push_back(std::move(ind));
     }
   }
+
+  // Parents carry their scores; only the freshly generated tail needs work.
+  evaluations_ += core::evaluate_batch(
+      problem_, std::span<Individual>(merged).subspan(opts_.population_size),
+      opts_.eval_threads);
 
   select_survivors(merged);
 }

@@ -17,6 +17,10 @@ struct Nsga2Options {
   std::uint64_t seed = 1;
   /// Fraction of the initial population taken from Problem::suggest_initial.
   double seeded_fraction = 0.1;
+  /// Threads used to evaluate each generation's offspring batch
+  /// (0 = hardware concurrency, 1 = serial).  Results are identical for any
+  /// value; see core/parallel.hpp.
+  std::size_t eval_threads = 0;
 };
 
 class Nsga2 final : public Algorithm {
@@ -35,7 +39,6 @@ class Nsga2 final : public Algorithm {
   [[nodiscard]] const Nsga2Options& options() const { return opts_; }
 
  private:
-  void evaluate(Individual& ind);
   /// Environmental selection: sorts `merged` and keeps the best
   /// population_size individuals into pop_.
   void select_survivors(std::vector<Individual>& merged);

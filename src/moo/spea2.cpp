@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel.hpp"
 #include "moo/dominance.hpp"
 
 namespace rmp::moo {
@@ -11,12 +12,6 @@ namespace rmp::moo {
 Spea2::Spea2(const Problem& problem, Spea2Options options)
     : problem_(problem), opts_(options), rng_(options.seed) {
   if (opts_.population_size % 2 != 0) ++opts_.population_size;
-}
-
-void Spea2::evaluate(Individual& ind) {
-  ind.f.assign(problem_.num_objectives(), 0.0);
-  ind.violation = problem_.evaluate(ind.x, ind.f);
-  ++evaluations_;
 }
 
 std::vector<double> Spea2::fitness(std::span<const Individual> all) const {
@@ -123,9 +118,9 @@ void Spea2::initialize() {
     for (std::size_t v = 0; v < n; ++v) ind.x[v] = rng_.uniform(lo[v], hi[v]);
     problem_.repair(ind.x);
     num::clamp_inplace(ind.x, lo, hi);
-    evaluate(ind);
     pop_.push_back(std::move(ind));
   }
+  evaluations_ += core::evaluate_batch(problem_, pop_, opts_.eval_threads);
   std::vector<Individual> all = pop_;
   environmental_selection(all);
 }
@@ -151,10 +146,10 @@ void Spea2::step() {
       num::clamp_inplace(*child, lo, hi);
       Individual ind;
       ind.x = *child;
-      evaluate(ind);
       offspring.push_back(std::move(ind));
     }
   }
+  evaluations_ += core::evaluate_batch(problem_, offspring, opts_.eval_threads);
   pop_ = std::move(offspring);
 
   std::vector<Individual> all = pop_;

@@ -18,6 +18,10 @@ struct Spea2Options {
   VariationParams variation;
   std::uint64_t seed = 1;
   double violation_penalty = 1e6;  ///< added to fitness per unit violation
+  /// Threads used to evaluate each generation's offspring batch
+  /// (0 = hardware concurrency, 1 = serial).  Results are identical for any
+  /// value; see core/parallel.hpp.
+  std::size_t eval_threads = 0;
 };
 
 class Spea2 final : public Algorithm {
@@ -35,7 +39,6 @@ class Spea2 final : public Algorithm {
   [[nodiscard]] std::string name() const override { return "SPEA2"; }
 
  private:
-  void evaluate(Individual& ind);
   /// SPEA2 fitness over pop+archive; lower is better; < 1 means non-dominated.
   [[nodiscard]] std::vector<double> fitness(std::span<const Individual> all) const;
   void environmental_selection(std::vector<Individual>& all);

@@ -1,5 +1,6 @@
 #include "robustness/surface.hpp"
 
+#include "core/parallel.hpp"
 #include "pareto/mining.hpp"
 
 namespace rmp::robustness {
@@ -11,14 +12,17 @@ std::vector<SurfacePoint> robustness_surface(const pareto::Front& front,
   if (front.empty()) return out;
 
   const std::vector<std::size_t> picks = pareto::equally_spaced(front, cfg.samples);
-  out.reserve(picks.size());
-  for (std::size_t idx : picks) {
+  out.resize(picks.size());
+  // Screen the sampled points concurrently; every pick seeds its own yield
+  // RNG, so the surface is independent of the execution order.
+  core::parallel_for(picks.size(), cfg.threads, [&](std::size_t k) {
+    const std::size_t idx = picks[k];
     SurfacePoint p;
     p.front_index = idx;
     p.objectives = front[idx].f;
     p.gamma = global_yield(front[idx].x, property, cfg.yield).gamma;
-    out.push_back(std::move(p));
-  }
+    out[k] = std::move(p);
+  });
   return out;
 }
 

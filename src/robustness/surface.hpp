@@ -20,6 +20,12 @@ struct SurfacePoint {
 struct SurfaceConfig {
   YieldConfig yield;
   std::size_t samples = 50;  ///< equally-spaced picks along the front
+  /// Threads used to screen the sampled Pareto points (0 = hardware
+  /// concurrency, 1 = serial outer loop).  When the outer loop runs on the
+  /// pool, each point's yield ensemble runs inline so the total width stays
+  /// bounded; with threads = 1 the inner ensembles are still free to
+  /// parallelize per `yield.threads`.
+  std::size_t threads = 0;
 };
 
 /// Evaluates the robustness surface over `samples` equally-spaced Pareto

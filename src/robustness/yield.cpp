@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.hpp"
+
 namespace rmp::robustness {
 
 bool robustness_condition(double nominal_value, double perturbed_value,
@@ -19,8 +21,12 @@ YieldResult run_ensemble(std::span<const double> x, const PropertyFn& f,
   r.nominal_value = f(x);
   r.absolute_threshold = cfg.epsilon_fraction * std::fabs(r.nominal_value);
   r.total_trials = ensemble.size();
-  for (const num::Vec& tau : ensemble) {
-    const double v = f(tau);
+  // Score the trials in parallel (PropertyFn is concurrency-safe by
+  // contract), then reduce serially in index order for bit-exact results.
+  std::vector<double> values(ensemble.size());
+  core::parallel_for(ensemble.size(), cfg.threads,
+                     [&](std::size_t i) { values[i] = f(ensemble[i]); });
+  for (const double v : values) {
     const double dev = std::fabs(r.nominal_value - v);
     r.max_deviation = std::max(r.max_deviation, dev);
     if (dev <= r.absolute_threshold) ++r.robust_trials;
@@ -49,11 +55,13 @@ YieldResult local_yield(std::span<const double> x, std::size_t var, const Proper
 
 std::vector<YieldResult> local_yields(std::span<const double> x, const PropertyFn& f,
                                       const YieldConfig& cfg) {
-  std::vector<YieldResult> out;
-  out.reserve(x.size());
-  for (std::size_t var = 0; var < x.size(); ++var) {
-    out.push_back(local_yield(x, var, f, cfg));
-  }
+  // Parallelize across variables (each has its own seeded ensemble); the
+  // per-variable ensembles then run serially thanks to the nested-batch
+  // guard in core::parallel_for.
+  std::vector<YieldResult> out(x.size());
+  core::parallel_for(x.size(), cfg.threads, [&](std::size_t var) {
+    out[var] = local_yield(x, var, f, cfg);
+  });
   return out;
 }
 

@@ -29,6 +29,11 @@ struct YieldConfig {
   PerturbationConfig perturbation;
   double epsilon_fraction = 0.05;  ///< eps as a fraction of the nominal value
   std::uint64_t seed = 99;
+  /// Threads used to score the Monte-Carlo ensemble (0 = hardware
+  /// concurrency, 1 = serial).  The ensemble is drawn up front from the
+  /// seeded RNG and reduced in index order, so gamma is identical for any
+  /// thread count.
+  std::size_t threads = 0;
 };
 
 struct YieldResult {

@@ -122,7 +122,9 @@ TEST(C3ModelTest, DownRegulatedPartitionNearDeath) {
   const num::Vec starved(kNumEnzymes, 0.02);
   const SteadyState ss = present_low().steady_state(starved);
   // Either converged with negligible uptake or declared unconverged.
-  if (ss.converged) EXPECT_LT(ss.co2_uptake, 1.0);
+  if (ss.converged) {
+    EXPECT_LT(ss.co2_uptake, 1.0);
+  }
 }
 
 TEST(C3ModelTest, SteadyUptakeOptionalPropagatesFailure) {

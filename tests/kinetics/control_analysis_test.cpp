@@ -59,8 +59,12 @@ TEST(ControlAnalysisTest, SucroseEnzymesControlLittleAtNaturalHighExport) {
     if (c.reliable) max_cc = std::max(max_cc, std::fabs(c.coefficient));
   }
   ASSERT_GT(max_cc, 0.0);
-  if (ccs[kSpp].reliable) EXPECT_LT(std::fabs(ccs[kSpp].coefficient), max_cc);
-  if (ccs[kUdpgp].reliable) EXPECT_LT(std::fabs(ccs[kUdpgp].coefficient), max_cc);
+  if (ccs[kSpp].reliable) {
+    EXPECT_LT(std::fabs(ccs[kSpp].coefficient), max_cc);
+  }
+  if (ccs[kUdpgp].reliable) {
+    EXPECT_LT(std::fabs(ccs[kUdpgp].coefficient), max_cc);
+  }
 }
 
 TEST(ControlAnalysisTest, UnreliableWhenBaseDead) {
@@ -68,7 +72,9 @@ TEST(ControlAnalysisTest, UnreliableWhenBaseDead) {
   const auto ccs = flux_control_coefficients(model(), starved);
   // Either all unreliable or coefficients of a dead pathway.
   for (const auto& c : ccs) {
-    if (c.reliable) EXPECT_TRUE(std::isfinite(c.coefficient));
+    if (c.reliable) {
+      EXPECT_TRUE(std::isfinite(c.coefficient));
+    }
   }
 }
 

@@ -87,7 +87,9 @@ TEST(ArchiveTest, ArchiveIsAlwaysMutuallyNondominated) {
   const auto sols = a.solutions();
   for (std::size_t p = 0; p < sols.size(); ++p) {
     for (std::size_t q = 0; q < sols.size(); ++q) {
-      if (p != q) EXPECT_FALSE(dominates(sols[p].f, sols[q].f));
+      if (p != q) {
+        EXPECT_FALSE(dominates(sols[p].f, sols[q].f));
+      }
     }
   }
   EXPECT_LE(a.size(), 50u);

@@ -99,7 +99,9 @@ TEST(SortTest, FrontsPartitionThePopulation) {
   for (const auto& front : fronts) {
     for (std::size_t a : front) {
       for (std::size_t b : front) {
-        if (a != b) EXPECT_FALSE(constrained_dominates(pop[a], pop[b]));
+        if (a != b) {
+          EXPECT_FALSE(constrained_dominates(pop[a], pop[b]));
+        }
       }
     }
   }
