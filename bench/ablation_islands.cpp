@@ -16,11 +16,11 @@
 #include "pareto/coverage.hpp"
 #include "pareto/hypervolume.hpp"
 
+#include "bench_util.hpp"
+
+using rmp::bench::env_or;
+
 namespace {
-std::size_t env_or(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
-}
 
 double front_hypervolume(const rmp::pareto::Front& front) {
   // ZDT objectives live in [0, ~10]; a fixed reference makes runs comparable.
@@ -33,6 +33,9 @@ int main() {
 
   const std::size_t generations = env_or("RMP_GENERATIONS", 80);
   const std::size_t base_pop = env_or("RMP_POPULATION", 16);
+  // Archipelago thread tier (0 = auto).  Results are thread-invariant, so
+  // this only changes how long the ablation takes.
+  const std::size_t island_threads = env_or("RMP_ISLAND_THREADS", 0);
 
   std::printf("== Ablation A2: islands vs panmictic NSGA-II (equal budget) ==\n\n");
 
@@ -69,6 +72,7 @@ int main() {
       po.generations = generations;
       po.migration_interval = 30;
       po.seed = 5;
+      po.island_threads = island_threads;
       moo::Pmo2 pmo2(*p, po,
                      moo::Pmo2::default_nsga2_factory(4 * base_pop / islands));
       pmo2.run();
@@ -95,6 +99,7 @@ int main() {
   po.generations = generations;
   po.migration_interval = 30;
   po.seed = 9;
+  po.island_threads = island_threads;
   moo::Pmo2 pmo2(z1, po, moo::Pmo2::default_nsga2_factory(2 * base_pop));
   pmo2.initialize();
 

@@ -16,18 +16,17 @@
 #include "pareto/coverage.hpp"
 #include "pareto/hypervolume.hpp"
 
-namespace {
-std::size_t env_or(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
-}
-}  // namespace
+#include "bench_util.hpp"
+
+using rmp::bench::env_or;
 
 int main() {
   using namespace rmp;
 
   const std::size_t generations = env_or("RMP_GENERATIONS", 80);
   const std::size_t population = env_or("RMP_POPULATION", 20);
+  // Archipelago thread tier (0 = auto); thread-invariant results.
+  const std::size_t island_threads = env_or("RMP_ISLAND_THREADS", 0);
   const moo::Zdt4 problem(10);
 
   struct Config {
@@ -69,6 +68,7 @@ int main() {
       po.migration_probability = cfg.probability;
       po.topology = cfg.topology;
       po.seed = seed;
+      po.island_threads = island_threads;
       moo::Pmo2 pmo2(problem, po, moo::Pmo2::default_nsga2_factory(population));
       pmo2.run();
       agg.offer_all(pmo2.archive().solutions());

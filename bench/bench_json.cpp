@@ -1,0 +1,148 @@
+#include "bench_json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace rmp::bench {
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no NaN/Inf
+    out += "null";
+    return;
+  }
+  // Shortest decimal representation that round-trips to the same bits.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out += buf;
+}
+
+}  // namespace
+
+Json::Json(std::uint64_t v) {
+  if (v > static_cast<std::uint64_t>(INT64_MAX)) {
+    // Not representable as a JSON number without precision loss — fall back
+    // to the hex() string encoding rather than silently wrapping negative.
+    *this = hex(v);
+    return;
+  }
+  kind_ = Kind::kInt;
+  int_ = static_cast<std::int64_t>(v);
+}
+
+Json Json::hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return Json(std::string(buf));
+}
+
+Json& Json::push_back(Json v) {
+  assert(kind_ == Kind::kArray);
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json v) {
+  assert(kind_ == Kind::kObject);
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: write_double(out, double_); break;
+    case Kind::kString: write_escaped(out, string_); break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        write_escaped(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+bool write_json_file(const std::string& path, const Json& doc, int indent) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << doc.dump(indent) << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace rmp::bench

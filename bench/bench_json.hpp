@@ -1,0 +1,73 @@
+// Minimal JSON document builder for the BENCH_*.json perf-trajectory
+// artifacts emitted by the bench/ binaries (docs/BENCHMARKS.md documents the
+// schemas and how to compare runs across PRs).
+//
+// Deliberately tiny: insertion-ordered objects, no external dependencies,
+// RFC 8259-conformant output — strings are escaped, doubles print with the
+// shortest representation that round-trips, and non-finite values serialize
+// as null (JSON has no NaN/Inf).  Lives in bench/ because the library proper
+// never speaks JSON; only the perf harness does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rmp::bench {
+
+class Json {
+ public:
+  /// null
+  Json() = default;
+
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  /// Values above INT64_MAX (e.g. raw fingerprints) cannot be represented
+  /// as a JSON number without precision games; they fall back to the hex()
+  /// string encoding.  Prefer calling hex() explicitly for hash-like values
+  /// so small and large fingerprints serialize uniformly.
+  Json(std::uint64_t v);
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  [[nodiscard]] static Json array() { return Json(Kind::kArray); }
+  [[nodiscard]] static Json object() { return Json(Kind::kObject); }
+
+  /// "0x%016x" encoding for 64-bit values that may not fit a JSON number
+  /// exactly (doubles cap integer precision at 2^53).
+  [[nodiscard]] static Json hex(std::uint64_t v);
+
+  /// Appends to an array value.
+  Json& push_back(Json v);
+
+  /// Sets a key on an object value; insertion order is preserved, setting an
+  /// existing key overwrites in place.
+  Json& set(std::string key, Json v);
+
+  /// Serializes the document.  indent > 0 pretty-prints; 0 emits one line.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Writes `doc.dump()` (plus a trailing newline) to `path`; returns false on
+/// I/O failure.
+bool write_json_file(const std::string& path, const Json& doc, int indent = 2);
+
+}  // namespace rmp::bench

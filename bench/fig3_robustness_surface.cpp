@@ -10,12 +10,9 @@
 #include "moo/pmo2.hpp"
 #include "robustness/surface.hpp"
 
-namespace {
-std::size_t env_or(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
-}
-}  // namespace
+#include "bench_util.hpp"
+
+using rmp::bench::env_or;
 
 int main() {
   using namespace rmp;

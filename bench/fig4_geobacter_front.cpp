@@ -26,11 +26,11 @@
 #include "moo/pmo2.hpp"
 #include "pareto/mining.hpp"
 
+#include "bench_util.hpp"
+
+using rmp::bench::env_or;
+
 namespace {
-std::size_t env_or(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
-}
 
 double initial_population_violation(const rmp::fba::MetabolicNetwork& net,
                                     std::size_t samples) {

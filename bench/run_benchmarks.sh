@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Perf-trajectory driver: runs the benchmark binaries against an existing
+# build tree and collects BENCH_*.json artifacts plus the ablation/micro-
+# kernel logs under one output directory, so every PR leaves a comparable
+# performance record (schema and comparison workflow: docs/BENCHMARKS.md).
+#
+# Usage:
+#   bench/run_benchmarks.sh                # full scale, reads ./build
+#   BUILD_DIR=build-ci OUT_DIR=perf RMP_BENCH_SMOKE=1 bench/run_benchmarks.sh
+#
+# RMP_BENCH_SMOKE=1 shrinks every workload to CI-smoke scale (seconds, not
+# minutes); the JSON schema is identical, only the scale fields differ.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-${BUILD_DIR}/bench-results}"
+SMOKE="${RMP_BENCH_SMOKE:-0}"
+
+if [[ ! -x "${BUILD_DIR}/bench/pmo2_scaling" ]]; then
+  echo "error: ${BUILD_DIR}/bench/pmo2_scaling not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+mkdir -p "${OUT_DIR}"
+
+if [[ "${SMOKE}" == "1" ]]; then
+  export RMP_GENERATIONS="${RMP_GENERATIONS:-12}"
+  export RMP_POPULATION="${RMP_POPULATION:-16}"
+  export RMP_EVAL_SPIN="${RMP_EVAL_SPIN:-100}"
+  export RMP_BENCH_REPEATS="${RMP_BENCH_REPEATS:-1}"
+fi
+
+# 1. The perf-trajectory anchor: island scaling, speedup and the
+#    bit-identical-archive check.  Non-zero exit = determinism broken.
+"${BUILD_DIR}/bench/pmo2_scaling" "${OUT_DIR}/BENCH_pmo2.json"
+
+# Validate the artifact when a JSON parser is on the PATH.
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${OUT_DIR}/BENCH_pmo2.json" >/dev/null \
+    && echo "BENCH_pmo2.json: valid JSON"
+fi
+
+# 2. The PMO2 ablations (printed tables; logged for the record).
+for ablation in ablation_islands ablation_migration; do
+  if [[ -x "${BUILD_DIR}/bench/${ablation}" ]]; then
+    "${BUILD_DIR}/bench/${ablation}" | tee "${OUT_DIR}/${ablation}.log"
+  fi
+done
+
+# 3. Micro-kernels (optional: needs the system google-benchmark at
+#    configure time).
+if [[ -x "${BUILD_DIR}/bench/micro_kernels" ]]; then
+  "${BUILD_DIR}/bench/micro_kernels" --benchmark_filter=BM_EvaluateBatch \
+    | tee "${OUT_DIR}/micro_kernels.log"
+fi
+
+echo
+echo "== ${OUT_DIR}/BENCH_pmo2.json =="
+cat "${OUT_DIR}/BENCH_pmo2.json"

@@ -18,14 +18,9 @@
 #include "pareto/coverage.hpp"
 #include "pareto/hypervolume.hpp"
 
-namespace {
+#include "bench_util.hpp"
 
-std::size_t env_or(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
-}
-
-}  // namespace
+using rmp::bench::env_or;
 
 int main() {
   using namespace rmp;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: configure Release with warnings-as-errors on the rmp
 # library targets, build everything, run the full CTest suite (the tier-1
-# verify command), and smoke-run the parallel-evaluation micro-kernel.
+# verify command), then run the benchmark driver in smoke mode so every CI
+# run prints a BENCH_pmo2.json perf-trajectory record (docs/BENCHMARKS.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,8 +18,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-# Report the serial-vs-parallel batch-evaluation scaling when the
-# google-benchmark-backed micro-kernel suite was built.
-if [[ -x "${BUILD_DIR}/bench/micro_kernels" ]]; then
-  "${BUILD_DIR}/bench/micro_kernels" --benchmark_filter=BM_EvaluateBatch
-fi
+# Benchmark smoke: emits and prints ${BUILD_DIR}/bench-results/BENCH_pmo2.json
+# (island-scaling wall times, speedups, the bit-identical-archive check) and
+# logs the ablations + micro-kernels.  Fails the build when the archipelago
+# determinism contract is broken.
+RMP_BENCH_SMOKE=1 BUILD_DIR="${BUILD_DIR}" \
+  OUT_DIR="${BUILD_DIR}/bench-results" bench/run_benchmarks.sh

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   cfg.optimizer.generations = 80;
   cfg.optimizer.migration_interval = 20;
   cfg.optimizer.seed = 7;
+  cfg.optimizer.island_threads = 0;  // concurrent islands; thread-invariant results
   cfg.surface.samples = 12;
   cfg.surface.yield.perturbation.global_trials = 400;
   const core::RobustDesigner designer(cfg);

@@ -30,6 +30,10 @@ int main() {
   options.migration_probability = 0.5;
   options.topology = moo::TopologyKind::kAllToAll;
   options.seed = 2024;
+  // Islands evolve concurrently, one task per hardware context (0 = auto).
+  // The archive is bit-identical for any value — threads trade wall-clock
+  // only, so reproducibility never depends on the host's core count.
+  options.island_threads = 0;
   moo::Pmo2 optimizer(problem, options, moo::Pmo2::default_nsga2_factory(40));
   optimizer.run();
 

@@ -176,6 +176,8 @@ void ThreadPool::for_each_index(std::size_t n,
 
 bool in_deterministic_region() { return tls_deterministic_region; }
 
+bool in_pool_batch() { return tls_inside_batch; }
+
 ThreadPool& global_pool() {
   // Workers + the participating caller = hardware concurrency.
   static ThreadPool pool(resolve_threads(0) - 1);

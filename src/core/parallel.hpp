@@ -11,6 +11,17 @@
 // serial path for any thread count — parallelism changes wall-clock, never
 // answers.
 //
+// Nested-region composition: the system has two parallel tiers — coarse
+// island tasks (Pmo2::step, one task per island) over fine batch evaluation
+// (evaluate_batch inside each island's engine).  A parallel region started
+// from inside a pool batch runs inline on the calling thread instead of
+// re-entering the pool, so an island task's evaluate_batch calls execute
+// serially on the island's thread: the outer tier owns the physical
+// parallelism, total width stays bounded by the outer request, and no
+// combination of tiers can deadlock.  When the outer tier is serial
+// (island_threads = 1), the inner tier is free to use the pool.  See the
+// tuning table in docs/ARCHITECTURE.md.
+//
 // Layering note: these files live in src/core/ (the paper-pipeline layer)
 // but depend only on the header-only moo::Problem/Individual interfaces and
 // numeric/, so they build as their own `rmp_parallel` target *below* rmp_moo
@@ -84,6 +95,15 @@ void parallel_for(std::size_t n, std::size_t n_threads,
 /// assignment is nondeterministic, so any history dependence would break
 /// the bit-identical-results-for-any-thread-count guarantee.
 [[nodiscard]] bool in_deterministic_region();
+
+/// True while the current thread is executing items of a ThreadPool batch
+/// (as a pool worker or as the participating caller).  Any parallel region
+/// started on such a thread runs inline — the composition contract the
+/// two-tier archipelago relies on (see the header comment).  Note the
+/// pool-less fallback paths (zero workers, single item, explicit width 1)
+/// do NOT set this flag: they hold no pool state, so nested regions remain
+/// free to use the pool.
+[[nodiscard]] bool in_pool_batch();
 
 /// Scores every Individual in `batch`: resizes ind.f to num_objectives(),
 /// calls problem.evaluate() and stores the constraint violation.  Returns

@@ -1,6 +1,7 @@
 #include "moo/archive.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "moo/dominance.hpp"
@@ -24,6 +25,23 @@ bool Archive::offer(const Individual& candidate) {
 
 void Archive::offer_all(std::span<const Individual> candidates) {
   for (const Individual& c : candidates) offer(c);
+}
+
+std::uint64_t Archive::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](double value) {
+    std::uint64_t v = std::bit_cast<std::uint64_t>(value);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  for (const Individual& m : members_) {
+    for (const double d : m.x) mix(d);
+    for (const double d : m.f) mix(d);
+    mix(m.violation);
+  }
+  return h;
 }
 
 void Archive::prune() {

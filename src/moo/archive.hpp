@@ -4,8 +4,17 @@
 // archive is what the paper reports as "the Pareto-Front found by the
 // algorithm" (755 Pareto optimal concentrations etc.).  Pruning removes the
 // most crowded member when capacity is exceeded, preserving front extremes.
+//
+// Ordered-merge contract: offers are processed strictly in the order given
+// (offer_all walks its span front to back), and insertion order determines
+// both the member ordering of solutions() and — through first-come duplicate
+// rejection and pruning ties — the archive's final content.  Callers merging
+// several populations must therefore present them in a fixed order; Pmo2
+// commits islands in island-index order at every epoch barrier, which is
+// what makes the archive bit-identical across thread counts.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -30,6 +39,13 @@ class Archive {
   [[nodiscard]] std::size_t size() const { return members_.size(); }
   [[nodiscard]] bool empty() const { return members_.empty(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Order-sensitive FNV-1a hash over every member's decision vector,
+  /// objectives and violation (raw IEEE-754 bits; the scratch rank/crowding
+  /// fields are excluded).  Two archives fingerprint equal iff their members
+  /// are bit-identical in the same order — the cheap equality that the
+  /// archipelago thread-invariance tests and BENCH_pmo2.json assert.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   void clear() { members_.clear(); }
 

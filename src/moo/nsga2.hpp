@@ -19,7 +19,9 @@ struct Nsga2Options {
   double seeded_fraction = 0.1;
   /// Threads used to evaluate each generation's offspring batch
   /// (0 = hardware concurrency, 1 = serial).  Results are identical for any
-  /// value; see core/parallel.hpp.
+  /// value; see core/parallel.hpp.  When the engine runs as a Pmo2 island
+  /// under island_threads > 1, the batch runs inline on the island's thread
+  /// — the archipelago tier owns the physical parallelism.
   std::size_t eval_threads = 0;
 };
 

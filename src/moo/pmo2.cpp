@@ -2,10 +2,33 @@
 
 #include <cassert>
 
+#include "core/parallel.hpp"
 #include "moo/dominance.hpp"
 #include "moo/nsga2.hpp"
 
 namespace rmp::moo {
+
+namespace {
+/// Tag XORed into the migration stream's seed so it never collides with an
+/// island's private stream.
+constexpr std::uint64_t kMigrationStreamTag = 0xA02ED1C5B6F7A893ULL;
+
+/// Private stream seed for island i: the i-th output of a splitmix64
+/// sequence rooted at the run seed (the xoshiro authors' recommended
+/// stream-derivation scheme).  Index-addressable like a bare `seed ^ i` —
+/// island streams stay independent of construction order — but, unlike
+/// XOR, never aliases streams across nearby run seeds (with `seed ^ i`,
+/// run 12's island-1 stream would equal run 13's island-0 stream,
+/// correlating the "independent" replicates that multi-seed aggregations
+/// in the tests and ablations average over).
+std::uint64_t island_stream_seed(std::uint64_t seed, std::size_t island) {
+  std::uint64_t z =
+      seed + (static_cast<std::uint64_t>(island) + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
 
 Pmo2::AlgorithmFactory Pmo2::default_nsga2_factory(std::size_t population_per_island) {
   return [population_per_island](const Problem& problem, std::uint64_t seed,
@@ -27,13 +50,13 @@ Pmo2::AlgorithmFactory Pmo2::default_nsga2_factory(std::size_t population_per_is
 Pmo2::Pmo2(const Problem& problem, Pmo2Options options, AlgorithmFactory factory)
     : problem_(problem),
       opts_(options),
-      rng_(options.seed),
+      rng_(options.seed ^ kMigrationStreamTag),
       archive_(options.archive_capacity) {
   assert(opts_.islands >= 1);
   if (!factory) factory = default_nsga2_factory();
   islands_.reserve(opts_.islands);
   for (std::size_t i = 0; i < opts_.islands; ++i) {
-    islands_.push_back(factory(problem_, rng_.next_u64(), i));
+    islands_.push_back(factory(problem_, island_stream_seed(opts_.seed, i), i));
   }
 }
 
@@ -41,17 +64,28 @@ void Pmo2::initialize() {
   generation_ = 0;
   migrations_ = 0;
   archive_.clear();
-  for (auto& island : islands_) {
-    island->initialize();
-    archive_.offer_all(island->population());
-  }
+  // Evolve tier: build and evaluate every island's initial population
+  // concurrently, one task per island (each on its private RNG stream).
+  core::parallel_for(islands_.size(), opts_.island_threads,
+                     [&](std::size_t i) { islands_[i]->initialize(); });
+  // Commit tier: archive merge in fixed island-index order — identical to
+  // the serial schedule for any island_threads.
+  for (auto& island : islands_) archive_.offer_all(island->population());
 }
 
 void Pmo2::step() {
-  for (auto& island : islands_) {
-    island->step();
-    archive_.offer_all(island->population());
-  }
+  // Evolve tier: one task per island on the shared pool.  Island tasks touch
+  // no shared mutable state — each island owns its population and RNG
+  // stream, and Problem::evaluate is thread-safe by contract.  An island's
+  // own evaluate_batch calls run inline on the island's thread (re-entrancy
+  // guard in core/parallel), so total width stays at island_threads.
+  core::parallel_for(islands_.size(), opts_.island_threads,
+                     [&](std::size_t i) { islands_[i]->step(); });
+
+  // Commit tier (epoch barrier, serial): nothing below runs unless every
+  // island task returned cleanly, so a throwing island leaves the archive,
+  // generation counter and migration bookkeeping exactly as they were.
+  for (auto& island : islands_) archive_.offer_all(island->population());
   ++generation_;
   if (opts_.migration_interval > 0 && generation_ % opts_.migration_interval == 0) {
     migrate();
@@ -67,12 +101,20 @@ void Pmo2::run(const Observer& observer) {
 }
 
 void Pmo2::migrate() {
+  // Canonical epoch schedule: edges arrive (from, to)-sorted and the
+  // migration stream is consumed in exactly that order on the barrier
+  // thread, so the epoch is deterministic for any island_threads.
   const auto edges = migration_edges(opts_.topology, islands_.size(), rng_,
                                      opts_.random_topology_degree);
-  for (const auto& [from, to] : edges) {
+
+  // Phase 1 — select: migrants are drawn from the epoch snapshot of every
+  // source population, so an edge never re-exports candidates that arrived
+  // along an earlier edge of the same epoch.
+  std::vector<std::vector<Individual>> outgoing(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
     if (!rng_.bernoulli(opts_.migration_probability)) continue;
 
-    const auto pop = islands_[from]->population();
+    const auto pop = islands_[edges[e].first]->population();
     if (pop.empty()) continue;
 
     // Migrants: random picks among the source island's non-dominated set,
@@ -80,14 +122,17 @@ void Pmo2::migrate() {
     const std::vector<std::size_t> front = nondominated_indices(pop);
     if (front.empty()) continue;
 
-    std::vector<Individual> migrants;
     const std::size_t count = std::min(opts_.migrants_per_edge, front.size());
     std::vector<std::size_t> picks(front.begin(), front.end());
     rng_.shuffle(picks);
-    migrants.reserve(count);
-    for (std::size_t k = 0; k < count; ++k) migrants.push_back(pop[picks[k]]);
+    outgoing[e].reserve(count);
+    for (std::size_t k = 0; k < count; ++k) outgoing[e].push_back(pop[picks[k]]);
+  }
 
-    islands_[to]->inject(migrants);
+  // Phase 2 — inject, in the same canonical edge order.
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (outgoing[e].empty()) continue;
+    islands_[edges[e].second]->inject(outgoing[e]);
     ++migrations_;
   }
 }

@@ -8,6 +8,39 @@
 //   generations, all-to-all (broadcast) scheme, migration probability 0.5.
 // A global non-dominated archive accumulates every island's population; its
 // content is the Pareto front the paper analyses and mines.
+//
+// Concurrency and determinism contract
+// ------------------------------------
+// step() evolves all islands concurrently on the shared core::parallel pool,
+// one task per island (`Pmo2Options::island_threads` picks the width).  Each
+// island owns a private RNG stream derived from (seed, island_index) — the
+// island_index-th splitmix64 output rooted at the run seed — so no task
+// reads another task's random state; Problem::evaluate is thread-safe
+// by contract; and an island task's own evaluate_batch calls run inline on
+// the island's thread (core/parallel.hpp re-entrancy), keeping the total
+// width bounded by island_threads.
+//
+// Every generation ends at an epoch barrier where shared state is committed
+// serially in a fixed order:
+//   1. archive merge — islands offer their populations in island-index
+//      order (identical to the serial schedule);
+//   2. migration (on migration epochs) — migration_edges() returns the
+//      canonical (from, to)-sorted edge list, the migration RNG stream is
+//      consumed in exactly that order, migrants are selected from the epoch
+//      snapshot of every source population (an edge never re-exports
+//      candidates that arrived earlier in the same epoch), then injected in
+//      the same canonical order.
+// The archive (and the whole run) is therefore bit-identical for any
+// island_threads value; parallelism trades wall-clock only.  Enforced by
+// tests/moo/pmo2_test.cpp and by bench/pmo2_scaling (BENCH_pmo2.json).
+//
+// Exception safety: step() offers the strong guarantee on all committed
+// state.  Islands evolve into their own (staged) populations first; the
+// archive, generation counter and migration bookkeeping are only touched
+// after every island task returned.  If an island throws, the exception
+// propagates with the committed state unchanged — an Observer can never see
+// a partially-updated epoch.  Island-internal populations may still have
+// advanced; call initialize() to restart the run after a failure.
 #pragma once
 
 #include <functional>
@@ -30,16 +63,26 @@ struct Pmo2Options {
   std::size_t random_topology_degree = 1;  ///< out-degree for TopologyKind::kRandom
   std::size_t archive_capacity = 0;        ///< 0 = unbounded
   std::uint64_t seed = 7;
+  /// Threads evolving islands concurrently, one task per island (0 = one
+  /// thread per hardware context, 1 = serial).  The archive is bit-identical
+  /// for any value — see the determinism contract above; the thread-count
+  /// tuning table lives in docs/ARCHITECTURE.md.
+  std::size_t island_threads = 0;
 };
 
 class Pmo2 {
  public:
   /// Builds the algorithm for one island; island_index allows "different
-  /// settings of the same optimization algorithm" per the paper.
+  /// settings of the same optimization algorithm" per the paper.  The seed
+  /// passed in is the island's private stream — the island_index-th
+  /// splitmix64 output rooted at options.seed — so island streams do not
+  /// depend on construction order, never alias across nearby run seeds,
+  /// and are independent of the migration stream.
   using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>(
       const Problem& problem, std::uint64_t seed, std::size_t island_index)>;
 
-  /// Observer invoked after every generation (gen is 1-based).
+  /// Observer invoked after every generation (gen is 1-based), always with a
+  /// fully-committed epoch: archive merged, migration (if due) applied.
   using Observer = std::function<void(std::size_t gen, const Pmo2& state)>;
 
   /// Default factory: NSGA-II with 100 individuals per island.
@@ -69,7 +112,7 @@ class Pmo2 {
 
   const Problem& problem_;
   Pmo2Options opts_;
-  num::Rng rng_;
+  num::Rng rng_;  ///< migration stream (edge draws, migrant picks) — barrier-only
   std::vector<std::unique_ptr<Algorithm>> islands_;
   Archive archive_;
   std::size_t generation_ = 0;

@@ -49,6 +49,10 @@ std::vector<std::pair<std::size_t, std::size_t>> migration_edges(TopologyKind ki
       break;
     }
   }
+  // Canonical (from, to) order — the fixed epoch application order (see the
+  // header contract).  All RNG draws happened above, in island order, so the
+  // sort never changes what kRandom consumes from `rng`.
+  std::sort(edges.begin(), edges.end());
   return edges;
 }
 

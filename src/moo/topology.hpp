@@ -23,7 +23,14 @@ enum class TopologyKind {
 [[nodiscard]] std::string to_string(TopologyKind k);
 
 /// Edge list (from -> to) for one migration event over `islands` islands.
-/// Deterministic for all kinds except kRandom, which consumes `rng`.
+/// Deterministic for all kinds except kRandom, which consumes `rng` (draws
+/// happen in island order, before ordering is applied).
+///
+/// Ordering contract: edges are returned in canonical lexicographic
+/// (from, to) order.  This is the fixed application order of a migration
+/// epoch — Pmo2 consumes its migration RNG stream and injects migrants edge
+/// by edge in exactly this sequence, which is what keeps migration epochs
+/// bit-identical for any island_threads (see moo/pmo2.hpp).
 [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> migration_edges(
     TopologyKind kind, std::size_t islands, num::Rng& rng, std::size_t random_degree = 1);
 

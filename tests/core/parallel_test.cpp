@@ -180,6 +180,37 @@ TEST(ParallelTest, KineticSteadyStateIgnoresWarmHistoryInsideRegions) {
   EXPECT_EQ(first, second);  // bit-exact: history must not leak in
 }
 
+TEST(ParallelTest, EvaluateBatchInsidePoolTaskRunsInlineAndMatchesSerial) {
+  // Two-tier composition (the archipelago pattern): coarse tasks on an
+  // explicit pool, each calling evaluate_batch.  The nested batch must run
+  // inline on the task's thread — no deadlock, full coverage — and produce
+  // results bit-identical to the serial path.
+  const moo::Zdt1 problem(8);
+  auto expected = random_batch(problem, 16, 5);
+  evaluate_batch(problem, expected, 1);
+
+  EXPECT_FALSE(in_pool_batch());
+  constexpr std::size_t kTasks = 4;
+  std::vector<std::vector<moo::Individual>> results(kTasks);
+  std::vector<int> saw_pool_batch(kTasks, 0);
+  ThreadPool pool(2);  // real workers even on a 1-core host
+  pool.for_each_index(kTasks, [&](std::size_t t) {
+    saw_pool_batch[t] = in_pool_batch() ? 1 : 0;
+    results[t] = random_batch(problem, 16, 5);
+    evaluate_batch(problem, results[t], 0);  // nested: must run inline
+  });
+  EXPECT_FALSE(in_pool_batch());
+
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(saw_pool_batch[t], 1) << "task " << t;
+    ASSERT_EQ(results[t].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      for (std::size_t j = 0; j < expected[i].f.size(); ++j)
+        EXPECT_EQ(results[t][i].f[j], expected[i].f[j]);
+    }
+  }
+}
+
 TEST(ParallelTest, ExceptionsPropagateToTheCaller) {
   EXPECT_THROW(
       parallel_for(64, 4,

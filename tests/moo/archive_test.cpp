@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "moo/dominance.hpp"
 #include "numeric/rng.hpp"
 
@@ -101,6 +103,30 @@ TEST(ArchiveTest, OfferAllFromPopulation) {
   Archive a;
   a.offer_all(pop);
   EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(ArchiveTest, FingerprintTracksContentAndOrder) {
+  Archive a;
+  a.offer(make(1.0, 3.0));
+  a.offer(make(3.0, 1.0));
+  Archive b;
+  b.offer(make(1.0, 3.0));
+  b.offer(make(3.0, 1.0));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Insertion order is part of the identity (the ordered-merge contract).
+  Archive reversed;
+  reversed.offer(make(3.0, 1.0));
+  reversed.offer(make(1.0, 3.0));
+  EXPECT_NE(a.fingerprint(), reversed.fingerprint());
+
+  // Any single-bit change in a member changes the hash.
+  Archive tweaked;
+  tweaked.offer(make(1.0, 3.0));
+  tweaked.offer(make(std::nextafter(3.0, 4.0), 1.0));
+  EXPECT_NE(a.fingerprint(), tweaked.fingerprint());
+
+  EXPECT_EQ(Archive().fingerprint(), Archive().fingerprint());
 }
 
 TEST(ArchiveTest, ClearEmpties) {

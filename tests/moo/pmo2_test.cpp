@@ -2,12 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include "moo/moead.hpp"
 #include "moo/nsga2.hpp"
 #include "moo/testproblems.hpp"
 #include "moo/topology.hpp"
+#include "pareto/front.hpp"
+#include "pareto/mining.hpp"
 
 namespace rmp::moo {
 namespace {
@@ -47,6 +52,17 @@ TEST(TopologyTest, SingleIslandNoEdges) {
   num::Rng rng(1);
   EXPECT_TRUE(migration_edges(TopologyKind::kAllToAll, 1, rng).empty());
   EXPECT_TRUE(migration_edges(TopologyKind::kRing, 1, rng).empty());
+}
+
+TEST(TopologyTest, EdgesArriveInCanonicalOrder) {
+  // The (from, to)-sorted ordering is the fixed application order of a
+  // migration epoch — the determinism contract in moo/pmo2.hpp depends on it.
+  num::Rng rng(1);
+  for (const auto kind : {TopologyKind::kAllToAll, TopologyKind::kRing,
+                          TopologyKind::kStar, TopologyKind::kRandom}) {
+    const auto edges = migration_edges(kind, 5, rng, 2);
+    EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end())) << to_string(kind);
+  }
 }
 
 TEST(Pmo2Test, PaperConfigurationRuns) {
@@ -175,6 +191,188 @@ TEST(Pmo2Test, DeterministicForSeed) {
   a.run();
   b.run();
   ASSERT_EQ(a.archive().size(), b.archive().size());
+}
+
+// The archipelago determinism contract: the archive — and everything mined
+// from it — is bit-identical for any island_threads.  This extends the
+// tests/core/parallel_test.cpp thread-invariance checks from one batch to
+// the whole system: concurrent island tasks, epoch barriers, migration.
+TEST(Pmo2Test, ArchiveBitIdenticalAcrossIslandThreads) {
+  const Zdt3 problem(10);
+
+  struct RunOutput {
+    std::vector<Individual> archive;
+    std::uint64_t fingerprint = 0;
+    std::size_t ideal_index = 0;
+    std::vector<std::size_t> shadow_indices;
+  };
+  auto run = [&](std::size_t island_threads) {
+    Pmo2Options o;
+    o.islands = 4;
+    o.generations = 20;
+    o.migration_interval = 5;
+    o.migration_probability = 0.5;
+    o.seed = 321;
+    o.island_threads = island_threads;
+    Pmo2 pmo2(problem, o, Pmo2::default_nsga2_factory(16));
+    pmo2.run();
+    RunOutput out;
+    out.archive.assign(pmo2.archive().solutions().begin(),
+                       pmo2.archive().solutions().end());
+    out.fingerprint = pmo2.archive().fingerprint();
+    const auto front = pareto::Front::from_population(pmo2.archive().solutions());
+    out.ideal_index = pareto::closest_to_ideal(front);
+    out.shadow_indices = pareto::shadow_minima(front);
+    return out;
+  };
+
+  const RunOutput reference = run(1);
+  ASSERT_FALSE(reference.archive.empty());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const RunOutput other = run(threads);
+    EXPECT_EQ(other.fingerprint, reference.fingerprint) << "threads=" << threads;
+    ASSERT_EQ(other.archive.size(), reference.archive.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < reference.archive.size(); ++i) {
+      ASSERT_EQ(other.archive[i].x.size(), reference.archive[i].x.size());
+      for (std::size_t v = 0; v < reference.archive[i].x.size(); ++v)
+        EXPECT_EQ(other.archive[i].x[v], reference.archive[i].x[v]);
+      ASSERT_EQ(other.archive[i].f.size(), reference.archive[i].f.size());
+      for (std::size_t j = 0; j < reference.archive[i].f.size(); ++j)
+        EXPECT_EQ(other.archive[i].f[j], reference.archive[i].f[j]);
+    }
+    // Mined candidates select identically on identical archives.
+    EXPECT_EQ(other.ideal_index, reference.ideal_index);
+    EXPECT_EQ(other.shadow_indices, reference.shadow_indices);
+  }
+}
+
+// Minimal instrumented island: one resident whose x encodes the island
+// index, a step() that does nothing, and an inject() that records where each
+// immigrant came from (immigrants keep the source island's x) and absorbs it
+// into the population.  Residents are mutually non-dominated across islands
+// (f = (i, -i)), so every island's front is its whole population.
+class RecordingAlgorithm final : public Algorithm {
+ public:
+  RecordingAlgorithm(std::size_t index,
+                     std::vector<std::pair<std::size_t, std::size_t>>* log)
+      : index_(index), log_(log) {}
+
+  void initialize() override {
+    Individual self;
+    self.x = num::Vec{static_cast<double>(index_)};
+    self.f = num::Vec{static_cast<double>(index_), -static_cast<double>(index_)};
+    pop_.assign(1, self);
+  }
+  void step() override {}
+  [[nodiscard]] std::span<const Individual> population() const override {
+    return pop_;
+  }
+  void inject(std::span<const Individual> immigrants) override {
+    for (const Individual& m : immigrants) {
+      log_->emplace_back(static_cast<std::size_t>(m.x[0]), index_);
+      pop_.push_back(m);
+    }
+  }
+  [[nodiscard]] std::size_t evaluations() const override { return 0; }
+  [[nodiscard]] std::string name() const override { return "recording"; }
+
+ private:
+  std::size_t index_;
+  std::vector<std::pair<std::size_t, std::size_t>>* log_;
+  std::vector<Individual> pop_;
+};
+
+// Migration epochs apply edges in canonical (from, to) order and select
+// migrants from the epoch snapshot: edge (1, 0) must export island 1's own
+// candidate even though edge (0, 1) already delivered island 0's candidate
+// into island 1 earlier in the same epoch.
+TEST(Pmo2Test, MigrationEpochAppliesEdgesInCanonicalOrderFromSnapshot) {
+  const Zdt1 problem(4);  // unused by the mock islands
+  std::vector<std::pair<std::size_t, std::size_t>> log;
+  Pmo2Options o;
+  o.islands = 3;
+  o.topology = TopologyKind::kStar;
+  o.migration_interval = 1;
+  o.migration_probability = 1.0;
+  o.migrants_per_edge = 1;
+  Pmo2 pmo2(problem, o,
+            [&log](const Problem&, std::uint64_t, std::size_t island) {
+              return std::make_unique<RecordingAlgorithm>(island, &log);
+            });
+  pmo2.initialize();
+  pmo2.step();
+
+  // Star over 3 islands enumerates (0,1),(1,0),(0,2),(2,0); the canonical
+  // epoch order is (0,1),(0,2),(1,0),(2,0).  Snapshot selection means each
+  // edge carries the source island's original resident (x = source index).
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 1}, {0, 2}, {1, 0}, {2, 0}};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(pmo2.migrations_performed(), 4u);
+}
+
+/// Island that throws on its second step(); used to prove the strong
+/// exception guarantee on committed state.
+class ThrowingAlgorithm final : public Algorithm {
+ public:
+  explicit ThrowingAlgorithm(std::size_t index) : index_(index) {}
+
+  void initialize() override {
+    Individual self;
+    self.x = num::Vec{static_cast<double>(index_)};
+    self.f = num::Vec{static_cast<double>(index_), -static_cast<double>(index_)};
+    pop_.assign(1, self);
+    steps_ = 0;
+  }
+  void step() override {
+    if (index_ == 1 && ++steps_ == 2) throw std::runtime_error("island failure");
+    // A successful step produces a new, strictly better point that WOULD
+    // enter the archive if the epoch were (incorrectly) committed.
+    pop_[0].f[0] -= 1.0;
+    pop_[0].f[1] -= 1.0;
+  }
+  [[nodiscard]] std::span<const Individual> population() const override {
+    return pop_;
+  }
+  void inject(std::span<const Individual>) override {}
+  [[nodiscard]] std::size_t evaluations() const override { return 0; }
+  [[nodiscard]] std::string name() const override { return "throwing"; }
+
+ private:
+  std::size_t index_;
+  std::size_t steps_ = 0;
+  std::vector<Individual> pop_;
+};
+
+TEST(Pmo2Test, StepLeavesCommittedStateUntouchedWhenAnIslandThrows) {
+  const Zdt1 problem(4);  // unused by the mock islands
+  Pmo2Options o;
+  o.islands = 2;
+  o.migration_interval = 1;
+  o.migration_probability = 1.0;
+  o.island_threads = 1;  // deterministic schedule: island 0 advances first
+  Pmo2 pmo2(problem, o, [](const Problem&, std::uint64_t, std::size_t island) {
+    return std::make_unique<ThrowingAlgorithm>(island);
+  });
+  pmo2.initialize();
+  pmo2.step();  // both islands step cleanly
+
+  const std::uint64_t fingerprint = pmo2.archive().fingerprint();
+  const std::size_t generation = pmo2.generation();
+  const std::size_t migrations = pmo2.migrations_performed();
+
+  // Island 0 advances (its staged population improves) before island 1
+  // throws — yet nothing committed may change: no partial archive merge, no
+  // generation bump, no migration bookkeeping.
+  EXPECT_THROW(pmo2.step(), std::runtime_error);
+  EXPECT_EQ(pmo2.archive().fingerprint(), fingerprint);
+  EXPECT_EQ(pmo2.generation(), generation);
+  EXPECT_EQ(pmo2.migrations_performed(), migrations);
+
+  // initialize() restarts the run after a failure.
+  pmo2.initialize();
+  EXPECT_EQ(pmo2.generation(), 0u);
+  EXPECT_EQ(pmo2.archive().size(), 2u);
 }
 
 // Parameterized topology sweep: every topology must complete and archive.
