@@ -1,16 +1,19 @@
 // Figure 1 reproduction — Pareto fronts of CO2 uptake versus total nitrogen
 // under the six environmental conditions: Ci in {165 (25M years ago),
 // 270 (present), 490 (year 2100)} x triose-P export in {1 (low), 3 (high)}.
-// One PMO2 run per condition; each front is printed as "uptake,nitrogen"
-// rows (gnuplot-ready), followed by the natural operating point that the
-// paper draws as the checked box.
+//
+// A thin client of the run API: one RunSpec per named scenario (the
+// kinetics::all_scenarios() labels ARE the registry keys), one api::run per
+// condition.  Each front prints as "uptake,nitrogen" rows (gnuplot-ready),
+// preceded by the natural operating point that the paper draws as the
+// checked box.
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <iostream>
+#include <string>
 
-#include "core/report.hpp"
+#include "api/run.hpp"
+#include "api/spec.hpp"
 #include "kinetics/scenarios.hpp"
-#include "moo/pmo2.hpp"
 
 #include "bench_util.hpp"
 
@@ -26,26 +29,30 @@ int main() {
   std::printf("(CO2 uptake umol m^-2 s^-1 vs nitrogen mg l^-1; %zu gens x %zu pop)\n",
               generations, population);
 
-  for (const kinetics::Scenario& scenario : kinetics::figure1_scenarios()) {
-    auto problem = kinetics::make_problem(scenario);
-    const auto& nat = problem->model().natural_state();
+  api::RunSpec spec;
+  spec.optimizer = "pmo2?islands=2&population=" + std::to_string(population) +
+                   "&migration_interval=" +
+                   std::to_string(std::max<std::size_t>(1, generations / 4));
+  spec.generations = generations;
+  spec.seed = 31;
+  spec.mining.enabled = false;
+
+  for (const kinetics::Scenario& scenario : kinetics::all_scenarios()) {
+    // The natural leaf's operating point under this condition (the box).
+    const auto model = kinetics::make_model(scenario);
+    const double natural_a = model->natural_state().co2_uptake;
     const double natural_n =
-        problem->model().nitrogen(num::Vec(kinetics::kNumEnzymes, 1.0));
+        model->nitrogen(num::Vec(kinetics::kNumEnzymes, 1.0));
 
-    moo::Pmo2Options po;
-    po.islands = 2;
-    po.generations = generations;
-    po.migration_interval = std::max<std::size_t>(1, generations / 4);
-    po.seed = 31;
-    moo::Pmo2 pmo2(*problem, po, moo::Pmo2::default_nsga2_factory(population));
-    pmo2.run();
-    auto front = pareto::Front::from_population(pmo2.archive().solutions());
-    front.sort_by_objective(1);  // by nitrogen
+    spec.problem = "photosynthesis?scenario=" + scenario.label;
+    api::RunResult result = api::run(spec);
+    result.front.sort_by_objective(1);  // by nitrogen
 
-    std::printf("\n# condition: %s  (natural: A=%.3f, N=%.0f)\n", scenario.label.c_str(),
-                nat.co2_uptake, natural_n);
-    std::printf("# front: %zu points; uptake,nitrogen\n", front.size());
-    for (const auto& m : front.members()) {
+    std::printf("\n# condition: %s (Ci=%.0f, export=%.0f; natural: A=%.3f, N=%.0f)\n",
+                scenario.label.c_str(), scenario.ci_ppm, scenario.triose_export_vmax,
+                natural_a, natural_n);
+    std::printf("# front: %zu points; uptake,nitrogen\n", result.front.size());
+    for (const auto& m : result.front.members()) {
       const auto [a, n] = kinetics::PhotosynthesisProblem::to_paper_units(m.f);
       std::printf("%.3f,%.0f\n", a, n);
     }

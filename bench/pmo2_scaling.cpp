@@ -25,7 +25,7 @@
 #include <thread>
 #include <vector>
 
-#include "bench_json.hpp"
+#include "core/json.hpp"
 #include "moo/pmo2.hpp"
 #include "moo/testproblems.hpp"
 #include "pareto/front.hpp"
@@ -142,22 +142,22 @@ int main(int argc, char** argv) {
       [&](const RunResult& r) { return r.fingerprint == results[0].fingerprint; });
   const double serial_wall = results[0].best_wall_seconds;
 
-  bench::Json runs = bench::Json::array();
+  core::Json runs = core::Json::array();
   for (const RunResult& r : results) {
-    runs.push_back(bench::Json::object()
+    runs.push_back(core::Json::object()
                        .set("island_threads", r.island_threads)
                        .set("wall_seconds", r.best_wall_seconds)
                        .set("speedup_vs_serial", serial_wall / r.best_wall_seconds)
                        .set("archive_size", r.archive_size)
-                       .set("archive_fingerprint", bench::Json::hex(r.fingerprint))
+                       .set("archive_fingerprint", core::Json::hex(r.fingerprint))
                        .set("hypervolume_at_budget", r.hypervolume)
                        .set("evaluations", r.evaluations));
   }
-  bench::Json doc = bench::Json::object()
+  core::Json doc = core::Json::object()
                         .set("benchmark", "pmo2_scaling")
                         .set("schema_version", 1)
                         .set("hardware_threads", static_cast<std::size_t>(hardware))
-                        .set("config", bench::Json::object()
+                        .set("config", core::Json::object()
                                            .set("problem", problem.name())
                                            .set("islands", islands)
                                            .set("population_per_island", population)
@@ -167,7 +167,7 @@ int main(int argc, char** argv) {
                                            .set("seed", std::size_t{41}))
                         .set("bit_identical_archives", bit_identical)
                         .set("runs", std::move(runs));
-  if (!bench::write_json_file(out_path, doc)) {
+  if (!core::write_json_file(out_path, doc)) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 2;
   }

@@ -1,20 +1,21 @@
-// Table 1 reproduction — Pareto-front quality, PMO2 vs MOEA/D.
+// Table 1 reproduction — Pareto-front quality, PMO2 vs MOEA/D — written as a
+// thin client of the spec-driven run API: each algorithm is one RunSpec
+// against the same registered problem, and the bench only post-processes the
+// two fronts into the paper's columns (points, Rp, Gp, Vp).
 //
 // Paper condition: C3 photosynthesis at Ci = 270 umol/mol, maximal triose-P
-// export 3 mmol/l/s.  PMO2 runs the paper's adopted configuration (two
-// NSGA-II islands, broadcast migration every 200 generations at probability
+// export 3 mmol/l/s ("present-high").  PMO2 runs the paper's adopted
+// configuration (two NSGA-II islands, broadcast migration at probability
 // 0.5); MOEA/D is the comparison baseline with the same evaluation budget.
-// Reported per algorithm: number of Pareto-optimal points, relative coverage
-// Rp, global coverage Gp, and the normalized hypervolume Vp — the exact
-// columns of the paper's Table 1.
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "api/run.hpp"
+#include "api/spec.hpp"
 #include "core/report.hpp"
-#include "kinetics/scenarios.hpp"
-#include "moo/moead.hpp"
-#include "moo/pmo2.hpp"
 #include "pareto/coverage.hpp"
 #include "pareto/hypervolume.hpp"
 
@@ -27,62 +28,52 @@ int main() {
 
   const std::size_t generations = env_or("RMP_GENERATIONS", 100);
   const std::size_t population = env_or("RMP_POPULATION", 40);
+  const std::size_t migration_interval =
+      std::min<std::size_t>(200, std::max<std::size_t>(1, generations / 4));
 
   std::printf("== Table 1: Pareto-Front analysis (PMO2 vs MOEA/D) ==\n");
-  std::printf("condition: Ci = 270 umol/mol, triose-P export = 3 mmol/l/s\n");
+  std::printf("condition: present-high (Ci = 270 umol/mol, export = 3 mmol/l/s)\n");
   std::printf("budget: %zu generations, %zu individuals per island\n\n", generations,
               population);
 
-  auto problem = kinetics::make_problem(kinetics::table1_scenario());
+  api::RunSpec spec;
+  spec.problem = "photosynthesis?scenario=present-high";
+  spec.generations = generations;
+  spec.seed = 7;
+  spec.mining.enabled = false;  // this bench compares raw fronts only
 
   // --- PMO2: the paper's adopted configuration ------------------------------
-  moo::Pmo2Options po;
-  po.islands = 2;
-  po.generations = generations;
-  po.migration_interval = std::min<std::size_t>(200, std::max<std::size_t>(1, generations / 4));
-  po.migration_probability = 0.5;
-  po.topology = moo::TopologyKind::kAllToAll;
-  po.seed = 7;
-  moo::Pmo2 pmo2(*problem, po, moo::Pmo2::default_nsga2_factory(population));
-  pmo2.run();
-  const auto pmo2_front = pareto::Front::from_population(pmo2.archive().solutions());
-  std::printf("PMO2 finished: %zu evaluations, archive %zu\n", pmo2.evaluations(),
-              pmo2.archive().size());
+  spec.optimizer = "pmo2?islands=2&population=" + std::to_string(population) +
+                   "&migration_interval=" + std::to_string(migration_interval) +
+                   "&migration_probability=0.5&topology=all-to-all";
+  const api::RunResult pmo2 = api::run(spec);
+  std::printf("PMO2 finished: %zu evaluations, front %zu\n", pmo2.evaluations,
+              pmo2.front.size());
 
   // --- MOEA/D baseline with a matched budget ---------------------------------
-  moo::MoeadOptions mo;
-  mo.population_size = 2 * population;  // same total population
-  mo.seed = 7;
-  moo::Moead moead(*problem, mo);
-  moo::Archive moead_archive;
-  moead.initialize();
-  moead_archive.offer_all(moead.population());
-  for (std::size_t g = 0; g < generations; ++g) {
-    moead.step();
-    moead_archive.offer_all(moead.population());
-  }
-  const auto moead_front = pareto::Front::from_population(moead_archive.solutions());
-  std::printf("MOEA/D finished: %zu evaluations, archive %zu\n\n", moead.evaluations(),
-              moead_archive.size());
+  spec.optimizer = "moead?population=" + std::to_string(2 * population);
+  const api::RunResult moead = api::run(spec);
+  std::printf("MOEA/D finished: %zu evaluations, front %zu\n\n", moead.evaluations,
+              moead.front.size());
 
   // --- metrics over the union front ------------------------------------------
-  const std::vector<pareto::Front> fronts{pmo2_front, moead_front};
+  const std::vector<pareto::Front> fronts{pmo2.front, moead.front};
   const auto cov = pareto::coverage_against_union(fronts);
   const pareto::Front global = pareto::Front::global_union(fronts);
   const num::Vec ideal = global.relative_minimum();
   const num::Vec nadir = global.relative_maximum();
 
   core::TextTable table({"Algorithm", "Points", "Rp", "Gp", "Vp"});
-  table.add_row({"PMO2", std::to_string(pmo2_front.size()),
+  table.add_row({"PMO2", std::to_string(pmo2.front.size()),
                  core::TextTable::fixed(cov[0].relative, 3),
                  core::TextTable::fixed(cov[0].global, 3),
                  core::TextTable::fixed(
-                     pareto::normalized_hypervolume(pmo2_front, ideal, nadir), 3)});
-  table.add_row({"MOEA-D", std::to_string(moead_front.size()),
+                     pareto::normalized_hypervolume(pmo2.front, ideal, nadir), 3)});
+  table.add_row({"MOEA-D", std::to_string(moead.front.size()),
                  core::TextTable::fixed(cov[1].relative, 3),
                  core::TextTable::fixed(cov[1].global, 3),
                  core::TextTable::fixed(
-                     pareto::normalized_hypervolume(moead_front, ideal, nadir), 3)});
+                     pareto::normalized_hypervolume(moead.front, ideal, nadir), 3)});
   table.print(std::cout);
 
   std::printf(

@@ -18,6 +18,18 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+# rmp_run smoke: the spec-driven front door must list its registries, execute
+# a ZDT1+pmo2 spec, and emit a result artifact that parses as JSON and carries
+# an archive fingerprint (the cross-machine reproducibility identity).
+RMP_RUN="${BUILD_DIR}/tools/rmp_run"
+test -n "$("${RMP_RUN}" --list-problems)" || { echo "rmp_run --list-problems is empty" >&2; exit 1; }
+"${RMP_RUN}" --list-problems | grep -q '^zdt1' || { echo "rmp_run --list-problems lacks zdt1" >&2; exit 1; }
+"${RMP_RUN}" --list-optimizers | grep -q '^pmo2' || { echo "rmp_run --list-optimizers lacks pmo2" >&2; exit 1; }
+"${RMP_RUN}" examples/specs/zdt1_pmo2.json --out "${BUILD_DIR}/rmp_run_result.json"
+"${RMP_RUN}" --validate "${BUILD_DIR}/rmp_run_result.json"
+grep -q '"fingerprint": "0x' "${BUILD_DIR}/rmp_run_result.json" \
+  || { echo "rmp_run result carries no fingerprint" >&2; exit 1; }
+
 # Benchmark smoke: emits and prints ${BUILD_DIR}/bench-results/BENCH_pmo2.json
 # (island-scaling wall times, speedups, the bit-identical-archive check) and
 # logs the ablations + micro-kernels.  Fails the build when the archipelago

@@ -1,74 +1,56 @@
-// Quickstart: optimize a classic two-objective test problem with PMO2, mine
-// the front, and screen the mined candidates for robustness — the library's
-// whole public API in ~80 lines.
+// Quickstart: the spec-driven run API end to end — declare WHAT to run
+// (problem x optimizer x budget x stages) as a RunSpec, let api::run execute
+// the paper's whole pipeline (optimize -> mine -> robustness), and read
+// everything back from the RunResult.  The same spec, serialized to JSON, is
+// what the `rmp_run` CLI consumes (see examples/specs/zdt1_pmo2.json).
 //
 //   $ ./quickstart
 #include <cstdio>
-#include <iostream>
 
-#include "core/report.hpp"
-#include "moo/pmo2.hpp"
-#include "moo/testproblems.hpp"
-#include "pareto/front.hpp"
+#include "api/run.hpp"
+#include "api/spec.hpp"
 #include "pareto/hypervolume.hpp"
-#include "pareto/mining.hpp"
-#include "robustness/yield.hpp"
 
 int main() {
   using namespace rmp;
 
-  // 1. A problem: anything implementing moo::Problem.  ZDT1 has the known
-  //    front f2 = 1 - sqrt(f1).
-  const moo::Zdt1 problem(12);
+  // 1. The spec: any registered problem ("rmp_run --list-problems") crossed
+  //    with any registered optimizer.  References carry their parameters —
+  //    here the paper's archipelago, scaled down: two NSGA-II islands of 40,
+  //    broadcast migration every 30 generations.
+  api::RunSpec spec;
+  spec.problem = "zdt1?n=12";
+  spec.optimizer = "pmo2?islands=2&population=40&migration_interval=30";
+  spec.generations = 120;
+  spec.seed = 2024;
+  spec.robustness.enabled = true;   // stage 3: Monte-Carlo yields
+  spec.robustness.trials = 1000;
 
-  // 2. The PMO2 archipelago — the paper's configuration, scaled down: two
-  //    NSGA-II islands, broadcast migration with probability 0.5.
-  moo::Pmo2Options options;
-  options.islands = 2;
-  options.generations = 120;
-  options.migration_interval = 30;
-  options.migration_probability = 0.5;
-  options.topology = moo::TopologyKind::kAllToAll;
-  options.seed = 2024;
-  // Islands evolve concurrently, one task per hardware context (0 = auto).
-  // The archive is bit-identical for any value — threads trade wall-clock
-  // only, so reproducibility never depends on the host's core count.
-  options.island_threads = 0;
-  moo::Pmo2 optimizer(problem, options, moo::Pmo2::default_nsga2_factory(40));
-  optimizer.run();
+  // 2. Execute.  Everything downstream of the spec is seeded: running the
+  //    same spec twice reproduces the same archive fingerprint, on any
+  //    machine and for any thread count.
+  const api::RunResult result = api::run(spec);
+  std::printf("%s on %s: front %zu points from %zu evaluations\n",
+              result.optimizer_name.c_str(), result.problem_name.c_str(),
+              result.front.size(), result.evaluations);
+  std::printf("archive fingerprint: 0x%016llx\n",
+              static_cast<unsigned long long>(result.fingerprint));
 
-  // 3. The archive accumulates every non-dominated solution seen.
-  const pareto::Front front =
-      pareto::Front::from_population(optimizer.archive().solutions());
-  std::printf("front: %zu points from %zu evaluations\n", front.size(),
-              optimizer.evaluations());
+  // 3. Mined trade-offs (Section 2.2) with their robustness (Section 2.3).
+  for (const auto& c : result.mined) {
+    std::printf("  [%s] f = (%.3f, %.3f)", c.selection.c_str(), c.objectives[0],
+                c.objectives[1]);
+    if (c.yield) std::printf("  yield = %.1f%%", 100.0 * c.yield->gamma);
+    std::printf("\n");
+  }
 
-  // 4. Mining: the automatic trade-off selections of the paper.
-  const std::size_t ideal = pareto::closest_to_ideal(front);
-  const auto shadows = pareto::shadow_minima(front);
-  std::printf("closest-to-ideal: f = (%.3f, %.3f)\n", front[ideal].f[0],
-              front[ideal].f[1]);
-  std::printf("shadow minima:    f0* = %.3f, f1* = %.3f\n", front[shadows[0]].f[0],
-              front[shadows[1]].f[1]);
-
-  // 5. Front quality: normalized hypervolume against the front's own box.
-  const double hv = pareto::normalized_hypervolume(front, front.relative_minimum(),
-                                                   front.relative_maximum());
+  // 4. Front quality: normalized hypervolume against the front's own box.
+  const double hv = pareto::normalized_hypervolume(
+      result.front, result.front.relative_minimum(), result.front.relative_maximum());
   std::printf("normalized hypervolume: %.3f\n", hv);
 
-  // 6. Robustness screening: how well does each mined point keep its f0
-  //    under 10%% decision-variable noise?
-  const robustness::PropertyFn property = [&problem](std::span<const double> x) {
-    num::Vec f(2);
-    (void)problem.evaluate(x, f);
-    return f[0];
-  };
-  robustness::YieldConfig ycfg;
-  ycfg.perturbation.global_trials = 1000;
-  for (const std::size_t idx : {ideal, shadows[0], shadows[1]}) {
-    const auto yield = robustness::global_yield(front[idx].x, property, ycfg);
-    std::printf("yield at f = (%.3f, %.3f): %.1f%%\n", front[idx].f[0],
-                front[idx].f[1], 100.0 * yield.gamma);
-  }
+  // 5. The full artifact — what `rmp_run --out` writes — is one call away.
+  std::printf("result JSON is %zu bytes (rmp_run spec.json --out result.json)\n",
+              api::result_to_json(result).dump().size());
   return 0;
 }

@@ -1,0 +1,52 @@
+// api::run — executes a RunSpec end-to-end and returns everything a caller
+// (or a serialized artifact) needs: the front, the archive fingerprint, the
+// mined trade-off candidates, their robustness, and stage timings.
+//
+//   spec.json --parse--> RunSpec --ProblemRegistry/OptimizerRegistry--> run()
+//        optimize (Optimizer::run + per-generation archive merge)
+//     -> mine (closest-to-ideal, shadow minima)
+//     -> robustness (global yields; optional surface + max-yield pick)
+//     -> RunResult --result_to_json--> result.json
+//
+// Determinism: everything downstream of the spec is seeded — two runs of the
+// same spec produce bit-identical archives, so RunResult::fingerprint is a
+// cross-machine reproducibility check (asserted by tests/api/run_test.cpp
+// and the ci/build.sh rmp_run smoke).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/spec.hpp"
+#include "core/designer.hpp"
+#include "core/json.hpp"
+#include "pareto/front.hpp"
+#include "robustness/surface.hpp"
+
+namespace rmp::api {
+
+struct RunResult {
+  RunSpec spec;                   ///< the spec that produced this result
+  std::string problem_name;       ///< Problem::name() of the instance
+  std::string optimizer_name;     ///< Optimizer::name() of the instance
+  pareto::Front front;            ///< non-dominated set of the run archive
+  /// Archive::fingerprint() of the run archive (order-sensitive FNV-1a) —
+  /// the identity reproducibility checks compare across machines.
+  std::uint64_t fingerprint = 0;
+  std::size_t evaluations = 0;
+  std::vector<core::MinedCandidate> mined;
+  std::vector<robustness::SurfacePoint> surface;
+  double optimize_seconds = 0.0;
+  double mining_seconds = 0.0;
+  double robustness_seconds = 0.0;
+};
+
+/// Executes the spec.  Throws SpecError on unresolvable references or bad
+/// parameters; anything thrown by the problem/optimizer propagates.
+[[nodiscard]] RunResult run(const RunSpec& spec);
+
+/// Full JSON artifact: spec echo, names, front, fingerprint (hex), mined
+/// candidates, surface, evaluations and timings.
+[[nodiscard]] core::Json result_to_json(const RunResult& result);
+
+}  // namespace rmp::api

@@ -13,6 +13,7 @@ DesignReport RobustDesigner::design(const moo::Problem& problem,
   moo::Pmo2 pmo2(problem, config_.optimizer);
   pmo2.run();
   report.evaluations = pmo2.evaluations();
+  report.fingerprint = pmo2.archive().fingerprint();
   report.front = pareto::Front::from_population(pmo2.archive().solutions());
   if (report.front.empty()) return report;
 

@@ -7,6 +7,7 @@
 //   4. select the max-yield candidate among the screened points.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -44,6 +45,10 @@ struct MinedCandidate {
 struct DesignReport {
   pareto::Front front;                      ///< the archive's non-dominated set
   std::size_t evaluations = 0;
+  /// Archive::fingerprint() of the PMO2 archive the front came from — the
+  /// cheap identity that makes cross-machine reproducibility checks
+  /// (docs/BENCHMARKS.md) possible from serialized artifacts alone.
+  std::uint64_t fingerprint = 0;
   std::vector<MinedCandidate> mined;        ///< ideal + shadow minima (+ max yield)
   std::vector<robustness::SurfacePoint> surface;  ///< screened robustness samples
 };

@@ -1,0 +1,140 @@
+// Minimal JSON document type shared by the run API and the perf harness —
+// the writer behind BENCH_*.json and rmp_run result artifacts, and the
+// recursive-descent reader behind RunSpec files (docs/BENCHMARKS.md and
+// docs/ARCHITECTURE.md "API layer" document the schemas).
+//
+// Deliberately tiny: insertion-ordered objects, no external dependencies,
+// RFC 8259-conformant in both directions.
+//   * Writing — strings are escaped, doubles print with the shortest
+//     representation that round-trips, and non-finite values serialize as
+//     null (JSON has no NaN/Inf).
+//   * Reading — parse() accepts exactly the RFC 8259 grammar (strict number
+//     syntax, \uXXXX escapes incl. surrogate pairs, no trailing garbage) and
+//     throws JsonError with a byte offset on malformed input.  Integral
+//     numbers that fit int64 are kept exact; everything else becomes double.
+// Values above INT64_MAX (fingerprints) travel as hex() strings; as_u64()
+// reads both encodings back.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rmp::core {
+
+/// Thrown on malformed documents (parse errors, I/O failures) and on typed
+/// accessor mismatches (asking an object for as_int(), a missing key, ...).
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  /// null
+  Json() = default;
+
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  /// Values above INT64_MAX (e.g. raw fingerprints) cannot be represented
+  /// as a JSON number without precision games; they fall back to the hex()
+  /// string encoding.  Prefer calling hex() explicitly for hash-like values
+  /// so small and large fingerprints serialize uniformly.
+  Json(std::uint64_t v);
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  [[nodiscard]] static Json array() { return Json(Kind::kArray); }
+  [[nodiscard]] static Json object() { return Json(Kind::kObject); }
+
+  /// "0x%016x" encoding for 64-bit values that may not fit a JSON number
+  /// exactly (doubles cap integer precision at 2^53).
+  [[nodiscard]] static Json hex(std::uint64_t v);
+
+  /// Parses one complete JSON document; trailing non-whitespace is an error.
+  /// Throws JsonError with the byte offset of the first offending character.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  // -- writing ---------------------------------------------------------------
+
+  /// Appends to an array value.
+  Json& push_back(Json v);
+
+  /// Sets a key on an object value; insertion order is preserved, setting an
+  /// existing key overwrites in place.
+  Json& set(std::string key, Json v);
+
+  /// Serializes the document.  indent > 0 pretty-prints; 0 emits one line.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  // -- reading ---------------------------------------------------------------
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_double() const { return kind_ == Kind::kDouble; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// One-word kind name ("object", "int", ...) for error messages.
+  [[nodiscard]] std::string_view kind_name() const;
+
+  // Typed accessors; every mismatch throws JsonError (never asserts — the
+  // reader feeds on user-authored spec files).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Non-negative integer (rejects doubles and negatives).
+  [[nodiscard]] std::size_t as_size() const;
+  /// Accepts both encodings of a 64-bit value: a non-negative JSON integer
+  /// or the hex() string form ("0x016...").
+  [[nodiscard]] std::uint64_t as_u64() const;
+  /// Accepts ints too (5 reads as 5.0).
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array/object element count; 0 for every scalar.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Array members (throws unless is_array()).
+  [[nodiscard]] std::span<const Json> items() const;
+  /// Object members in insertion order (throws unless is_object()).
+  [[nodiscard]] std::span<const std::pair<std::string, Json>> entries() const;
+  /// Object lookup: nullptr when the key is absent (throws unless is_object()).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Object lookup that throws JsonError when the key is absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Array index (bounds-checked, throws).
+  [[nodiscard]] const Json& at(std::size_t index) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Writes `doc.dump()` (plus a trailing newline) to `path`; returns false on
+/// I/O failure.
+bool write_json_file(const std::string& path, const Json& doc, int indent = 2);
+
+/// Reads and parses `path`; throws JsonError on I/O or parse failure.
+[[nodiscard]] Json load_json_file(const std::string& path);
+
+}  // namespace rmp::core

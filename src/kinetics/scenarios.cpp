@@ -2,20 +2,34 @@
 
 namespace rmp::kinetics {
 
-std::array<Scenario, 6> figure1_scenarios() {
-  return {{
-      {"past(Ci=165),low-export", kCiPast, kExportLow},
-      {"past(Ci=165),high-export", kCiPast, kExportHigh},
-      {"present(Ci=270),low-export", kCiPresent, kExportLow},
-      {"present(Ci=270),high-export", kCiPresent, kExportHigh},
-      {"future(Ci=490),low-export", kCiFuture, kExportLow},
-      {"future(Ci=490),high-export", kCiFuture, kExportHigh},
+namespace {
+const std::array<Scenario, 6>& scenario_table() {
+  static const std::array<Scenario, 6> table{{
+      {"past-low", kCiPast, kExportLow},
+      {"past-high", kCiPast, kExportHigh},
+      {"present-low", kCiPresent, kExportLow},
+      {"present-high", kCiPresent, kExportHigh},
+      {"future-low", kCiFuture, kExportLow},
+      {"future-high", kCiFuture, kExportHigh},
   }};
+  return table;
+}
+}  // namespace
+
+std::array<Scenario, 6> figure1_scenarios() { return scenario_table(); }
+
+std::span<const Scenario> all_scenarios() { return scenario_table(); }
+
+const Scenario* scenario_by_label(std::string_view label) {
+  for (const Scenario& s : scenario_table()) {
+    if (s.label == label) return &s;
+  }
+  return nullptr;
 }
 
-Scenario table1_scenario() { return {"present(Ci=270),high-export", kCiPresent, kExportHigh}; }
+Scenario table1_scenario() { return *scenario_by_label("present-high"); }
 
-Scenario figure2_scenario() { return {"present(Ci=270),low-export", kCiPresent, kExportLow}; }
+Scenario figure2_scenario() { return *scenario_by_label("present-low"); }
 
 std::shared_ptr<const C3Model> make_model(const Scenario& s) {
   C3Config cfg;

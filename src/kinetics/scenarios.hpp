@@ -4,10 +4,11 @@
 #pragma once
 
 #include <array>
-#include <span>
-#include <vector>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "kinetics/c3model.hpp"
 #include "kinetics/photosynthesis_problem.hpp"
@@ -15,6 +16,10 @@
 namespace rmp::kinetics {
 
 struct Scenario {
+  /// Canonical name, "<era>-<export>" with era in {past, present, future}
+  /// and export in {low, high} (e.g. "present-high") — the key accepted by
+  /// scenario_by_label() and by the problem registry's
+  /// "photosynthesis?scenario=..." references.
   std::string label;
   double ci_ppm;
   double triose_export_vmax;
@@ -28,6 +33,14 @@ inline constexpr double kExportHigh = 3.0;
 
 /// The six (Ci, export) pairs of Figure 1, past->future, low export first.
 [[nodiscard]] std::array<Scenario, 6> figure1_scenarios();
+
+/// All named conditions — currently exactly the six of Figure 1, in the
+/// figure1_scenarios() order.  Static storage; the span stays valid.
+[[nodiscard]] std::span<const Scenario> all_scenarios();
+
+/// Looks a condition up by its canonical label ("past-low" ... "future-high");
+/// nullptr when the label names no known scenario.
+[[nodiscard]] const Scenario* scenario_by_label(std::string_view label);
 
 /// The condition of Table 1 / Table 2 / Figure 3: Ci = 270, high export.
 [[nodiscard]] Scenario table1_scenario();

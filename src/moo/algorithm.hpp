@@ -1,8 +1,29 @@
-// Common interface of the evolutionary engines so that PMO2 islands can host
-// heterogeneous algorithms (the paper runs NSGA-II instances; MOEA/D plugs in
-// the same way and serves as the comparison baseline).
+// The unified Optimizer interface — every search engine in the tree speaks
+// it: the single-population engines (NSGA-II, SPEA2, MOEA/D) and the PMO2
+// archipelago itself, which both *hosts* Optimizers as islands and *is* one
+// (its population() is the global archive view).  One polymorphic seam means
+// heterogeneous island factories, the AlgorithmRegistry (src/api/registry.hpp)
+// and the spec-driven run API all compose any engine with any problem.
+//
+// Contract
+// --------
+//   * initialize() builds and evaluates the initial population.  Must be
+//     called once before step(); calling it again starts a fresh run of the
+//     same configuration.  The engine's RNG stream is NOT rewound — a
+//     restarted run is an independent replicate, not a replay; construct a
+//     new instance (as api::run does) to reproduce a run bit-exactly.
+//   * step() advances by one generation.
+//   * Exception safety (the PR-2 contract, required of every implementation):
+//     a step() that throws must leave all state observable through this
+//     interface — population(), evaluations(), and for archive-bearing
+//     engines the archived front — exactly as it was before the call, so an
+//     Observer can never see a partially committed generation.  Pmo2
+//     additionally documents how its epoch barrier realizes the strong
+//     guarantee (moo/pmo2.hpp); the single-population engines satisfy it by
+//     evaluating offspring into scratch storage before any commit.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -13,19 +34,32 @@
 
 namespace rmp::moo {
 
-class Algorithm {
+class Optimizer {
  public:
-  virtual ~Algorithm() = default;
+  virtual ~Optimizer() = default;
+
+  /// Invoked by run() after every generation with a fully committed state
+  /// (gen is 1-based).  For Pmo2 "committed" means the epoch barrier has
+  /// completed: archive merged and migration (if due) applied.
+  using Observer = std::function<void(std::size_t gen, const Optimizer& state)>;
 
   /// Builds and evaluates the initial population.  Must be called once
-  /// before step(); repeated calls restart the run.
+  /// before step(); repeated calls restart the run as an independent
+  /// replicate (the RNG stream is not rewound — see the contract above).
   virtual void initialize() = 0;
 
-  /// Advances by one generation.
+  /// Advances by one generation.  See the exception-safety contract above.
   virtual void step() = 0;
 
-  /// Current population (valid after initialize()).
+  /// Current population (valid after initialize()).  Archive-bearing engines
+  /// (SPEA2, PMO2) expose their result archive here.
   [[nodiscard]] virtual std::span<const Individual> population() const = 0;
+
+  /// True when population() is a cumulative non-dominated archive over the
+  /// whole run (PMO2) rather than one generation's working set — drivers
+  /// that maintain their own run archive can then merge the view once at
+  /// the end instead of every generation.
+  [[nodiscard]] virtual bool population_is_archive() const { return false; }
 
   /// Installs immigrant candidates, displacing the worst residents.
   virtual void inject(std::span<const Individual> immigrants) = 0;
@@ -35,11 +69,20 @@ class Algorithm {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Runs initialize() + `generations` steps (convenience for stand-alone use).
-  void run(std::size_t generations) {
+  /// Runs initialize() + `generations` steps, invoking `observer` after each
+  /// committed generation — the per-generation hook that lets Pmo2 keep its
+  /// epoch callback when driven through the base interface.
+  void run(std::size_t generations, const Observer& observer = nullptr) {
     initialize();
-    for (std::size_t g = 0; g < generations; ++g) step();
+    for (std::size_t g = 1; g <= generations; ++g) {
+      step();
+      if (observer) observer(g, *this);
+    }
   }
 };
+
+/// Historical name of the interface (PMO2 hosts "algorithms" on islands);
+/// kept as an alias so island factories read naturally.
+using Algorithm = Optimizer;
 
 }  // namespace rmp::moo

@@ -30,11 +30,14 @@ std::uint64_t island_stream_seed(std::uint64_t seed, std::size_t island) {
 }
 }  // namespace
 
-Pmo2::AlgorithmFactory Pmo2::default_nsga2_factory(std::size_t population_per_island) {
-  return [population_per_island](const Problem& problem, std::uint64_t seed,
-                                 std::size_t island_index) {
+Pmo2::AlgorithmFactory Pmo2::default_nsga2_factory(std::size_t population_per_island,
+                                                   std::size_t eval_threads) {
+  return [population_per_island, eval_threads](const Problem& problem,
+                                               std::uint64_t seed,
+                                               std::size_t island_index) {
     Nsga2Options o;
     o.population_size = population_per_island;
+    o.eval_threads = eval_threads;
     o.seed = seed;
     // "Different settings of the same optimization algorithm": odd islands
     // explore more aggressively (coarser SBX / stronger mutation), even
@@ -135,6 +138,18 @@ void Pmo2::migrate() {
     islands_[edges[e].second]->inject(outgoing[e]);
     ++migrations_;
   }
+}
+
+void Pmo2::inject(std::span<const Individual> immigrants) {
+  if (immigrants.empty()) return;
+  std::vector<std::vector<Individual>> buckets(islands_.size());
+  for (std::size_t k = 0; k < immigrants.size(); ++k) {
+    buckets[k % islands_.size()].push_back(immigrants[k]);
+  }
+  for (std::size_t i = 0; i < islands_.size(); ++i) {
+    if (!buckets[i].empty()) islands_[i]->inject(buckets[i]);
+  }
+  archive_.offer_all(immigrants);
 }
 
 std::size_t Pmo2::evaluations() const {

@@ -70,7 +70,12 @@ struct Pmo2Options {
   std::size_t island_threads = 0;
 };
 
-class Pmo2 {
+/// PMO2 is itself an Optimizer: population() exposes the global archive
+/// view, inject() spreads immigrants across the islands round-robin, and the
+/// base-class run(generations, observer) drives whole epochs — so the
+/// archipelago composes through the same polymorphic seam as the engines it
+/// hosts (registry lookups, nested archipelagos, spec-driven runs).
+class Pmo2 final : public Optimizer {
  public:
   /// Builds the algorithm for one island; island_index allows "different
   /// settings of the same optimization algorithm" per the paper.  The seed
@@ -83,26 +88,51 @@ class Pmo2 {
 
   /// Observer invoked after every generation (gen is 1-based), always with a
   /// fully-committed epoch: archive merged, migration (if due) applied.
+  /// This is the Pmo2-typed convenience flavour; the inherited
+  /// Optimizer::run(generations, observer) delivers the same committed-epoch
+  /// callback through the base interface.
   using Observer = std::function<void(std::size_t gen, const Pmo2& state)>;
 
   /// Default factory: NSGA-II with 100 individuals per island.
+  /// `eval_threads` is forwarded to every engine (0 = hardware concurrency);
+  /// pass 1 to make an island_threads = 1 run genuinely serial — when
+  /// islands evolve concurrently the engines' batches run inline anyway.
   [[nodiscard]] static AlgorithmFactory default_nsga2_factory(
-      std::size_t population_per_island = 100);
+      std::size_t population_per_island = 100, std::size_t eval_threads = 0);
 
   Pmo2(const Problem& problem, Pmo2Options options,
        AlgorithmFactory factory = nullptr);
 
-  /// Full run: initialize all islands, evolve, migrate, archive.
+  /// Full run over options.generations: initialize all islands, evolve,
+  /// migrate, archive.  The inherited run(generations, observer) overload
+  /// does the same under a caller-chosen budget.
   void run(const Observer& observer = nullptr);
+  using Optimizer::run;
 
   /// Step-wise API (used by the convergence ablation): one generation on
   /// every island, then migration/archiving bookkeeping.
-  void initialize();
-  void step();
+  void initialize() override;
+  void step() override;
   [[nodiscard]] std::size_t generation() const { return generation_; }
 
+  /// The global archive view — what the paper reports as the algorithm's
+  /// Pareto front.  Identical contents to archive().solutions().
+  [[nodiscard]] std::span<const Individual> population() const override {
+    return archive_.solutions();
+  }
+
+  /// The view above is the cumulative run archive, not a working set.
+  [[nodiscard]] bool population_is_archive() const override { return true; }
+
+  /// Distributes immigrants across the islands round-robin (immigrant k goes
+  /// to island k mod num_islands) and offers them to the global archive —
+  /// deterministic, so archipelagos composing archipelagos stay reproducible.
+  void inject(std::span<const Individual> immigrants) override;
+
+  [[nodiscard]] std::string name() const override { return "PMO2"; }
+
   [[nodiscard]] const Archive& archive() const { return archive_; }
-  [[nodiscard]] std::size_t evaluations() const;
+  [[nodiscard]] std::size_t evaluations() const override;
   [[nodiscard]] std::size_t num_islands() const { return islands_.size(); }
   [[nodiscard]] const Algorithm& island(std::size_t i) const { return *islands_[i]; }
   [[nodiscard]] std::size_t migrations_performed() const { return migrations_; }

@@ -88,6 +88,22 @@ TEST(ScenarioTest, TableAndFigureConditions) {
   EXPECT_EQ(figure2_scenario().triose_export_vmax, kExportLow);
 }
 
+TEST(ScenarioTest, LookupByCanonicalLabel) {
+  EXPECT_EQ(all_scenarios().size(), 6u);
+  for (const Scenario& s : all_scenarios()) {
+    const Scenario* found = scenario_by_label(s.label);
+    ASSERT_NE(found, nullptr) << s.label;
+    EXPECT_EQ(found->ci_ppm, s.ci_ppm);
+    EXPECT_EQ(found->triose_export_vmax, s.triose_export_vmax);
+  }
+  const Scenario* future_low = scenario_by_label("future-low");
+  ASSERT_NE(future_low, nullptr);
+  EXPECT_EQ(future_low->ci_ppm, kCiFuture);
+  EXPECT_EQ(future_low->triose_export_vmax, kExportLow);
+  EXPECT_EQ(scenario_by_label("mars-high"), nullptr);
+  EXPECT_EQ(scenario_by_label(""), nullptr);
+}
+
 TEST(AciCurveTest, MonotoneThenSaturatingForNaturalLeaf) {
   const num::Vec ones(kNumEnzymes, 1.0);
   const num::Vec cis{150.0, 270.0, 420.0};
