@@ -30,16 +30,30 @@ if [[ "${SMOKE}" == "1" ]]; then
   export RMP_POPULATION="${RMP_POPULATION:-16}"
   export RMP_EVAL_SPIN="${RMP_EVAL_SPIN:-100}"
   export RMP_BENCH_REPEATS="${RMP_BENCH_REPEATS:-1}"
+  export RMP_ARCHIVE_OFFERS="${RMP_ARCHIVE_OFFERS:-6000}"
+  export RMP_ARCHIVE_CAPACITY="${RMP_ARCHIVE_CAPACITY:-400}"
+  export RMP_ARCHIVE_BATCH="${RMP_ARCHIVE_BATCH:-128}"
+else
+  # Full scale enforces the acceptance bar: >= 5x batch-vs-naive at 50k
+  # offers into a capacity-1000 archive.  Smoke runs only check the
+  # fingerprint cross-check (CI wall clocks are too noisy for a speedup
+  # gate at seconds scale).
+  export RMP_ARCHIVE_MIN_SPEEDUP="${RMP_ARCHIVE_MIN_SPEEDUP:-5}"
 fi
 
-# 1. The perf-trajectory anchor: island scaling, speedup and the
-#    bit-identical-archive check.  Non-zero exit = determinism broken.
+# 1. The perf-trajectory anchors.  Non-zero exit = a contract broke:
+#    pmo2_scaling checks bit-identical archives across island_threads,
+#    archive_scaling checks the batch merge engine against the naive
+#    reference (same fingerprints, and the speedup bar at full scale).
 "${BUILD_DIR}/bench/pmo2_scaling" "${OUT_DIR}/BENCH_pmo2.json"
+"${BUILD_DIR}/bench/archive_scaling" "${OUT_DIR}/BENCH_archive.json"
 
-# Validate the artifact when a JSON parser is on the PATH.
+# Validate the artifacts when a JSON parser is on the PATH.
 if command -v python3 >/dev/null 2>&1; then
-  python3 -m json.tool "${OUT_DIR}/BENCH_pmo2.json" >/dev/null \
-    && echo "BENCH_pmo2.json: valid JSON"
+  for artifact in BENCH_pmo2 BENCH_archive; do
+    python3 -m json.tool "${OUT_DIR}/${artifact}.json" >/dev/null \
+      && echo "${artifact}.json: valid JSON"
+  done
 fi
 
 # 2. The PMO2 ablations (printed tables; logged for the record).
@@ -59,3 +73,6 @@ fi
 echo
 echo "== ${OUT_DIR}/BENCH_pmo2.json =="
 cat "${OUT_DIR}/BENCH_pmo2.json"
+echo
+echo "== ${OUT_DIR}/BENCH_archive.json =="
+cat "${OUT_DIR}/BENCH_archive.json"

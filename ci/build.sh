@@ -30,9 +30,41 @@ test -n "$("${RMP_RUN}" --list-problems)" || { echo "rmp_run --list-problems is 
 grep -q '"fingerprint": "0x' "${BUILD_DIR}/rmp_run_result.json" \
   || { echo "rmp_run result carries no fingerprint" >&2; exit 1; }
 
-# Benchmark smoke: emits and prints ${BUILD_DIR}/bench-results/BENCH_pmo2.json
-# (island-scaling wall times, speedups, the bit-identical-archive check) and
-# logs the ablations + micro-kernels.  Fails the build when the archipelago
-# determinism contract is broken.
+# Benchmark smoke: emits and prints BENCH_pmo2.json (island-scaling wall
+# times, speedups, the bit-identical-archive check) and BENCH_archive.json
+# (batch-vs-naive merge engine cross-check) under
+# ${BUILD_DIR}/bench-results, and logs the ablations + micro-kernels.
+# Fails the build when the archipelago determinism contract or the archive
+# merge equivalence is broken.
 RMP_BENCH_SMOKE=1 BUILD_DIR="${BUILD_DIR}" \
   OUT_DIR="${BUILD_DIR}/bench-results" bench/run_benchmarks.sh
+
+# ASan+UBSan Debug pass over the algorithmic core (moo / pareto / numeric):
+# the layers where an out-of-bounds index or UB-reliant shortcut (the old
+# percentile Release OOB class) would otherwise slip through Release CI.
+# -fno-sanitize-recover (set by RMP_SANITIZE in CMake) turns every UBSan
+# finding into a test failure.  Only the affected test binaries are built —
+# the full suite already ran above.
+SAN_BUILD_DIR="${SAN_BUILD_DIR:-${BUILD_DIR}-asan}"
+SAN_TESTS=(
+  moo_archive_test moo_dominance_test moo_moead_test moo_nsga2_test
+  moo_operators_test moo_pmo2_test moo_spea2_test moo_testproblems_test
+  pareto_coverage_test pareto_front_test pareto_hypervolume_test
+  pareto_mining_test
+  numeric_matrix_test numeric_newton_test numeric_ode_test numeric_rng_test
+  numeric_simplex_test numeric_sparse_test numeric_stats_test
+  numeric_vec_test)
+
+cmake -B "${SAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRMP_SANITIZE=address,undefined \
+  -DRMP_BUILD_EXAMPLES=OFF \
+  -DRMP_BUILD_BENCH=OFF \
+  -DRMP_BUILD_TOOLS=OFF
+
+cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
+
+for t in "${SAN_TESTS[@]}"; do
+  echo "== asan+ubsan: ${t} =="
+  "${SAN_BUILD_DIR}/tests/${t}"
+done

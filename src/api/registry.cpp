@@ -138,6 +138,21 @@ void require_known_keys(const ParamMap& params, std::span<const std::string> kno
 
 namespace {
 
+/// NSGA-II population: the engine rejects odd sizes (pairwise mating), so
+/// fail at spec level with the parameter name instead of surfacing a bare
+/// std::invalid_argument from deep inside construction.
+std::size_t nsga2_population(const ParamMap& params, const char* optimizer,
+                             std::size_t fallback) {
+  const std::size_t population = param_size(params, "population", fallback);
+  if (population < 4 || population % 2 != 0) {
+    throw SpecError(std::string(optimizer) +
+                    " population must be even and >= 4 (NSGA-II pairwise "
+                    "mating), got " +
+                    std::to_string(population));
+  }
+  return population;
+}
+
 /// ZDT variable count with the family's minimum of 2 (g(x) averages over the
 /// n-1 tail variables).
 std::size_t zdt_n(const ParamMap& params, std::size_t fallback) {
@@ -276,7 +291,7 @@ void register_builtin_optimizers(OptimizerRegistry& reg) {
           [](const moo::Problem& problem, const OptimizerContext& ctx,
              const ParamMap& p) -> std::unique_ptr<moo::Optimizer> {
             moo::Nsga2Options o;
-            o.population_size = param_size(p, "population", o.population_size);
+            o.population_size = nsga2_population(p, "nsga2", o.population_size);
             o.seeded_fraction = param_double(p, "seeded_fraction", o.seeded_fraction);
             o.seed = ctx.seed;
             o.eval_threads = ctx.threads;
@@ -333,10 +348,16 @@ void register_builtin_optimizers(OptimizerRegistry& reg) {
             o.archive_capacity = param_size(p, "archive_capacity", o.archive_capacity);
             o.seed = ctx.seed;
             o.island_threads = ctx.threads;
-            const std::size_t population = param_size(p, "population", 100);
 
             moo::Pmo2::AlgorithmFactory factory;
             const std::string engines = param_string(p, "engines", "");
+            // The default archipelago runs NSGA-II on every island, so the
+            // per-island population inherits its even-size requirement; with
+            // an explicit engines list the named engines validate their own
+            // population at island construction.
+            const std::size_t population =
+                engines.empty() ? nsga2_population(p, "pmo2", 100)
+                                : param_size(p, "population", 100);
             if (engines.empty()) {
               // The paper's heterogeneous default: NSGA-II everywhere, odd
               // islands explore (coarser variation), even islands exploit.

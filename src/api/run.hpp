@@ -30,8 +30,9 @@ struct RunResult {
   std::string problem_name;       ///< Problem::name() of the instance
   std::string optimizer_name;     ///< Optimizer::name() of the instance
   pareto::Front front;            ///< non-dominated set of the run archive
-  /// Archive::fingerprint() of the run archive (order-sensitive FNV-1a) —
-  /// the identity reproducibility checks compare across machines.
+  /// Archive::fingerprint() of the run archive (FNV-1a over the canonical
+  /// member order) — the identity reproducibility checks compare across
+  /// machines.
   std::uint64_t fingerprint = 0;
   std::size_t evaluations = 0;
   std::vector<core::MinedCandidate> mined;

@@ -1,17 +1,40 @@
-// Bounded external archive of non-dominated solutions.
+// Bounded external archive of non-dominated solutions — a batch engine.
 //
 // PMO2 maintains one global archive fed by every island each generation; the
 // archive is what the paper reports as "the Pareto-Front found by the
 // algorithm" (755 Pareto optimal concentrations etc.).  Pruning removes the
-// most crowded member when capacity is exceeded, preserving front extremes.
+// most crowded members when capacity is exceeded, preserving front extremes.
 //
-// Ordered-merge contract: offers are processed strictly in the order given
-// (offer_all walks its span front to back), and insertion order determines
-// both the member ordering of solutions() and — through first-come duplicate
-// rejection and pruning ties — the archive's final content.  Callers merging
-// several populations must therefore present them in a fixed order; Pmo2
-// commits islands in island-index order at every epoch barrier, which is
-// what makes the archive bit-identical across thread counts.
+// Batch-merge semantics (both policies implement exactly these):
+//   * offer_all(batch) is one transaction: infeasible candidates and exact
+//     objective-space duplicates (first offer wins) are dropped, the batch's
+//     non-dominated survivors are merged against the archive (dominated
+//     residents evicted, candidates dominated by — or duplicating — a
+//     resident rejected), and capacity pruning runs ONCE at the end of the
+//     call, never mid-batch.  offer(c) == offer_all of a 1-span.
+//   * Members are stored in canonical order: ascending lexicographic on the
+//     objective vector (total, since duplicate objective vectors are
+//     rejected).  solutions() and fingerprint() see that order, so the
+//     archive's identity depends only on its content.  While the archive
+//     stays under capacity, merging the same offer sequence in any batch
+//     grouping yields the same fingerprint; once pruning triggers, the
+//     grouping IS part of the semantics (pruning runs once per transaction,
+//     so different groupings prune at different points).  PMO2 therefore
+//     commits islands in a fixed order and grouping at every epoch, which
+//     is what keeps it bit-identical across island_threads counts.
+//   * Capacity pruning is a single crowding pass: crowding distances are
+//     computed once over the whole archive (a single front by construction)
+//     and the size-capacity most crowded members are evicted, smallest
+//     crowding first; crowding ties evict the canonically-later member.
+//     Front extremes carry infinite crowding and survive first.
+//
+// Merge policies: kBatch is the production path — non-dominated-sorts the
+// incoming batch once (O(B log B) for two objectives via the dominance.cpp
+// sweep), then merges two sorted staircases in O(N + B); kNaive is the
+// reference — a per-candidate linear dominance scan with sorted insertion,
+// kept for differential tests and bench/archive_scaling.  Same inputs, same
+// members, same fingerprints, always.  Building with -DRMP_ARCHIVE_NAIVE=ON
+// flips the default policy tree-wide.
 #pragma once
 
 #include <cstdint>
@@ -22,38 +45,66 @@
 
 namespace rmp::moo {
 
+/// How offer_all merges a batch.  Identical semantics, different cost:
+/// kBatch is O((N + B) log(N + B)) per batch for two objectives, kNaive is
+/// the O(N * B) reference implementation.
+enum class ArchiveMerge { kBatch, kNaive };
+
 class Archive {
  public:
+  /// The policy the build selects when none is passed: kBatch, or kNaive
+  /// under -DRMP_ARCHIVE_NAIVE=ON (cmake option of the same name).
+  static constexpr ArchiveMerge default_merge() {
+#ifdef RMP_ARCHIVE_NAIVE
+    return ArchiveMerge::kNaive;
+#else
+    return ArchiveMerge::kBatch;
+#endif
+  }
+
   /// capacity == 0 means unbounded.
-  explicit Archive(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit Archive(std::size_t capacity = 0, ArchiveMerge merge = default_merge())
+      : capacity_(capacity), merge_(merge) {}
 
   /// Offers a candidate: inserted iff feasible-and-non-dominated w.r.t. the
   /// archive (infeasible candidates are never archived).  Dominated residents
-  /// are evicted.  Returns true when the candidate was inserted.
+  /// are evicted.  Returns true when the candidate was inserted (it may
+  /// still fall to the capacity prune that follows).
   bool offer(const Individual& candidate);
 
-  /// Offers every member of a population.
+  /// Offers a population as one batch transaction (semantics above).
   void offer_all(std::span<const Individual> candidates);
 
+  /// Members in canonical order (ascending lexicographic objectives).
   [[nodiscard]] std::span<const Individual> solutions() const { return members_; }
   [[nodiscard]] std::size_t size() const { return members_.size(); }
   [[nodiscard]] bool empty() const { return members_.empty(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] ArchiveMerge merge_policy() const { return merge_; }
 
-  /// Order-sensitive FNV-1a hash over every member's decision vector,
-  /// objectives and violation (raw IEEE-754 bits; the scratch rank/crowding
-  /// fields are excluded).  Two archives fingerprint equal iff their members
-  /// are bit-identical in the same order — the cheap equality that the
-  /// archipelago thread-invariance tests and BENCH_pmo2.json assert.
+  /// FNV-1a hash over every member's decision vector, objectives and
+  /// violation (raw IEEE-754 bits; the scratch rank/crowding fields are
+  /// excluded), walked in canonical order.  Because the stored order is
+  /// canonical, two archives fingerprint equal iff they hold bit-identical
+  /// member sets — the cheap identity asserted by the archipelago
+  /// thread-invariance tests, BENCH_pmo2.json and BENCH_archive.json.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
   void clear() { members_.clear(); }
 
  private:
+  /// Batch path: front-filter the candidates, then staircase-merge (2-obj)
+  /// or cross-scan (general) against the sorted archive.  No pruning.
+  void merge_batch(std::span<const Individual> candidates);
+  /// Reference path: per-candidate linear scans + sorted insertion.  No
+  /// pruning.
+  void merge_naive(std::span<const Individual> candidates);
+  /// Single-pass capacity prune (semantics in the header comment).
   void prune();
 
   std::size_t capacity_;
-  std::vector<Individual> members_;
+  ArchiveMerge merge_;
+  std::vector<Individual> members_;  ///< canonical order, unique objectives
 };
 
 }  // namespace rmp::moo

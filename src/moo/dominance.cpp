@@ -5,6 +5,98 @@
 
 namespace rmp::moo {
 
+namespace {
+
+/// Sorts every front's indices ascending — the canonical within-front order
+/// both sorting paths promise (see dominance.hpp).
+void canonicalize(std::vector<std::vector<std::size_t>>& fronts) {
+  for (auto& front : fronts) std::sort(front.begin(), front.end());
+}
+
+/// Index order for the two-objective sweep: (f0 asc, f1 asc, index asc).
+/// Exact objective duplicates end up adjacent, which is what lets the sweep
+/// treat them as one fitness.
+struct SweepLess {
+  std::span<const Individual> pop;
+  bool operator()(std::size_t a, std::size_t b) const {
+    const auto& fa = pop[a].f;
+    const auto& fb = pop[b].f;
+    if (fa[0] != fb[0]) return fa[0] < fb[0];
+    if (fa[1] != fb[1]) return fa[1] < fb[1];
+    return a < b;
+  }
+};
+
+/// Two-objective O(N log N) non-dominated sort under constrained domination.
+///
+/// Feasible individuals: processed in (f0, f1) order; a previously processed
+/// fitness q dominates p iff q.f1 <= p.f1 (they differ and q is no worse in
+/// f0 by the sort), so p's front is the first one whose minimum-processed f1
+/// exceeds p.f1 — a binary search, because those minima increase strictly
+/// front to front (Jensen 2003).  Exact objective duplicates share a front
+/// (dominance depends only on f).  Infeasible individuals follow: every
+/// feasible dominates every infeasible and smaller violation dominates, so
+/// each distinct violation value forms one front after all feasible fronts.
+std::vector<std::vector<std::size_t>> sort_two_objectives(std::span<Individual> pop) {
+  std::vector<std::size_t> feasible;
+  std::vector<std::size_t> infeasible;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    (pop[i].feasible() ? feasible : infeasible).push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> fronts;
+
+  if (!feasible.empty()) {
+    std::sort(feasible.begin(), feasible.end(), SweepLess{pop});
+    std::vector<double> min_f1;  // per front: min f1 among processed members
+    std::size_t prev_front = 0;
+    const Individual* prev = nullptr;
+    for (const std::size_t idx : feasible) {
+      const Individual& p = pop[idx];
+      std::size_t front;
+      if (prev != nullptr && prev->f[0] == p.f[0] && prev->f[1] == p.f[1]) {
+        front = prev_front;  // duplicate fitness: same dominators, same front
+      } else {
+        const auto it = std::upper_bound(min_f1.begin(), min_f1.end(), p.f[1]);
+        front = static_cast<std::size_t>(it - min_f1.begin());
+        if (front == min_f1.size()) {
+          min_f1.push_back(p.f[1]);
+          fronts.emplace_back();
+        } else {
+          min_f1[front] = p.f[1];
+        }
+      }
+      fronts[front].push_back(idx);
+      pop[idx].rank = front;
+      prev_front = front;
+      prev = &p;
+    }
+  }
+
+  if (!infeasible.empty()) {
+    std::sort(infeasible.begin(), infeasible.end(), [&](std::size_t a, std::size_t b) {
+      return pop[a].violation != pop[b].violation ? pop[a].violation < pop[b].violation
+                                                  : a < b;
+    });
+    double group_violation = 0.0;
+    bool open_group = false;
+    for (const std::size_t idx : infeasible) {
+      if (!open_group || pop[idx].violation != group_violation) {
+        fronts.emplace_back();
+        group_violation = pop[idx].violation;
+        open_group = true;
+      }
+      fronts.back().push_back(idx);
+      pop[idx].rank = fronts.size() - 1;
+    }
+  }
+
+  canonicalize(fronts);
+  return fronts;
+}
+
+}  // namespace
+
 bool dominates(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
   bool strictly_better = false;
@@ -25,6 +117,12 @@ bool constrained_dominates(const Individual& a, const Individual& b) {
 }
 
 std::vector<std::vector<std::size_t>> fast_nondominated_sort(std::span<Individual> pop) {
+  if (!pop.empty() && pop.front().f.size() == 2) return sort_two_objectives(pop);
+  return fast_nondominated_sort_pairwise(pop);
+}
+
+std::vector<std::vector<std::size_t>> fast_nondominated_sort_pairwise(
+    std::span<Individual> pop) {
   const std::size_t n = pop.size();
   std::vector<std::vector<std::size_t>> dominated_by(n);
   std::vector<std::size_t> domination_count(n, 0);
@@ -65,6 +163,7 @@ std::vector<std::vector<std::size_t>> fast_nondominated_sort(std::span<Individua
     ++rank;
     current = std::move(next);
   }
+  canonicalize(fronts);
   return fronts;
 }
 
@@ -104,6 +203,46 @@ bool crowded_less(const Individual& a, const Individual& b) {
 }
 
 std::vector<std::size_t> nondominated_indices(std::span<const Individual> pop) {
+  // Two-objective sweep: front 0 only.  Feasible candidates dominate every
+  // infeasible one, so the front is the feasible staircase when any feasible
+  // individual exists, else the minimum-violation group.
+  if (!pop.empty() && pop.front().f.size() == 2) {
+    std::vector<std::size_t> feasible;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      if (pop[i].feasible()) feasible.push_back(i);
+    }
+    std::vector<std::size_t> out;
+    if (feasible.empty()) {
+      double best = pop[0].violation;
+      for (std::size_t i = 1; i < pop.size(); ++i) {
+        best = std::min(best, pop[i].violation);
+      }
+      for (std::size_t i = 0; i < pop.size(); ++i) {
+        if (pop[i].violation == best) out.push_back(i);
+      }
+      return out;
+    }
+    std::sort(feasible.begin(), feasible.end(), SweepLess{pop});
+    double min_f1 = 0.0;
+    bool kept_prev = false;
+    const Individual* prev = nullptr;
+    for (const std::size_t idx : feasible) {
+      const Individual& p = pop[idx];
+      bool keep;
+      if (prev != nullptr && prev->f[0] == p.f[0] && prev->f[1] == p.f[1]) {
+        keep = kept_prev;  // duplicate fitness: identical dominators
+      } else {
+        keep = prev == nullptr || p.f[1] < min_f1;
+      }
+      if (keep) out.push_back(idx);
+      min_f1 = prev == nullptr ? p.f[1] : std::min(min_f1, p.f[1]);
+      kept_prev = keep;
+      prev = &p;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
   std::vector<std::size_t> out;
   for (std::size_t p = 0; p < pop.size(); ++p) {
     bool dominated = false;

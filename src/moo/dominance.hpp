@@ -1,5 +1,18 @@
 // Pareto dominance, constrained domination, fast non-dominated sorting and
 // crowding-distance assignment (Deb et al., NSGA-II, IEEE TEC 2002).
+//
+// Two-objective fast path: for populations with exactly two objectives,
+// fast_nondominated_sort() and nondominated_indices() dispatch to an
+// O(N log N) sweep (Jensen, IEEE TEC 2003; generalized to duplicates and
+// constrained domination following Fortin et al., GECCO 2013) instead of
+// the O(N^2) pairwise algorithm.  Both paths produce identical fronts in
+// the canonical order below; the pairwise variant stays available as the
+// reference implementation for differential tests.
+//
+// Canonical front order: every returned front lists its member indices in
+// ascending order, for either path.  Downstream consumers (survivor
+// selection, archive merges) therefore see an order that depends only on
+// the population, never on which algorithm produced the fronts.
 #pragma once
 
 #include <span>
@@ -20,8 +33,16 @@ namespace rmp::moo {
 [[nodiscard]] bool constrained_dominates(const Individual& a, const Individual& b);
 
 /// Fast non-dominated sort.  Assigns `rank` on each individual (0 = best
-/// front) and returns the fronts as index lists into `pop`.
+/// front) and returns the fronts as index lists into `pop`, each front in
+/// ascending index order.  Two-objective populations take the O(N log N)
+/// sweep; everything else the O(N^2) pairwise algorithm.
 std::vector<std::vector<std::size_t>> fast_nondominated_sort(
+    std::span<Individual> pop);
+
+/// The O(N^2) pairwise reference implementation of fast_nondominated_sort
+/// (always used for >2 objectives; exposed so tests can assert the sweep
+/// and the reference agree front-for-front).
+std::vector<std::vector<std::size_t>> fast_nondominated_sort_pairwise(
     std::span<Individual> pop);
 
 /// Assigns crowding distance to the individuals of one front (indices into
@@ -34,7 +55,8 @@ void assign_crowding_distance(std::span<Individual> pop,
 
 /// Extracts indices of the non-dominated, feasible-first subset of `pop`
 /// under constrained domination (the "front 0" filter used to pick
-/// migrants and to build result fronts).
+/// migrants and to build result fronts).  Indices ascend; two-objective
+/// populations take the O(N log N) sweep.
 [[nodiscard]] std::vector<std::size_t> nondominated_indices(
     std::span<const Individual> pop);
 

@@ -87,6 +87,7 @@ void Moead::build_neighborhoods() {
   std::vector<std::size_t> order(n);
   for (std::size_t i = 0; i < n; ++i) {
     std::iota(order.begin(), order.end(), std::size_t{0});
+    // Squared distances: the neighborhood ranking only needs the ordering.
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return num::dist2(weights_[i], weights_[a]) < num::dist2(weights_[i], weights_[b]);
     });

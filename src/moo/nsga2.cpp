@@ -1,7 +1,8 @@
 #include "moo/nsga2.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "core/parallel.hpp"
 #include "moo/dominance.hpp"
@@ -10,9 +11,15 @@ namespace rmp::moo {
 
 Nsga2::Nsga2(const Problem& problem, Nsga2Options options)
     : problem_(problem), opts_(options), rng_(options.seed) {
-  assert(opts_.population_size >= 4);
-  // Even population keeps the pairwise mating loop simple.
-  if (opts_.population_size % 2 != 0) ++opts_.population_size;
+  // The mating loop pairs parents, so the population must be even.  Odd
+  // sizes used to be bumped up silently, which made every downstream count
+  // (evaluations, fronts, budget math) off by one with no trace — reject
+  // loudly instead.
+  if (opts_.population_size < 4 || opts_.population_size % 2 != 0) {
+    throw std::invalid_argument(
+        "Nsga2: population_size must be even and >= 4 (pairwise mating), got " +
+        std::to_string(opts_.population_size));
+  }
 }
 
 void Nsga2::initialize() {

@@ -12,6 +12,8 @@
 namespace rmp::moo {
 
 struct Nsga2Options {
+  /// Must be even and >= 4 (the mating loop pairs parents); the constructor
+  /// throws std::invalid_argument otherwise — no silent rounding.
   std::size_t population_size = 100;
   VariationParams variation;
   std::uint64_t seed = 1;

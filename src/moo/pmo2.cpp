@@ -54,7 +54,7 @@ Pmo2::Pmo2(const Problem& problem, Pmo2Options options, AlgorithmFactory factory
     : problem_(problem),
       opts_(options),
       rng_(options.seed ^ kMigrationStreamTag),
-      archive_(options.archive_capacity) {
+      archive_(options.archive_capacity, options.archive_merge) {
   assert(opts_.islands >= 1);
   if (!factory) factory = default_nsga2_factory();
   islands_.reserve(opts_.islands);

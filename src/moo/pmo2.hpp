@@ -62,6 +62,10 @@ struct Pmo2Options {
   TopologyKind topology = TopologyKind::kAllToAll;
   std::size_t random_topology_degree = 1;  ///< out-degree for TopologyKind::kRandom
   std::size_t archive_capacity = 0;        ///< 0 = unbounded
+  /// Merge policy of the global archive.  kBatch and the kNaive reference
+  /// are semantically identical (fingerprint-equal, tested); the knob exists
+  /// so differential tests and benches can pit them against each other.
+  ArchiveMerge archive_merge = Archive::default_merge();
   std::uint64_t seed = 7;
   /// Threads evolving islands concurrently, one task per island (0 = one
   /// thread per hardware context, 1 = serial).  The archive is bit-identical

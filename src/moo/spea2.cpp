@@ -39,7 +39,7 @@ std::vector<double> Spea2::fitness(std::span<const Individual> all) const {
     dists.clear();
     dists.reserve(n - 1);
     for (std::size_t j = 0; j < n; ++j) {
-      if (i != j) dists.push_back(num::dist2(all[i].f, all[j].f));
+      if (i != j) dists.push_back(num::dist(all[i].f, all[j].f));
     }
     std::nth_element(dists.begin(),
                      dists.begin() + static_cast<long>(std::min(k, dists.size() - 1)),
@@ -86,7 +86,7 @@ void Spea2::environmental_selection(std::vector<Individual>& all) {
       for (std::size_t i = 0; i < cand.size(); ++i) {
         double nearest = std::numeric_limits<double>::infinity();
         for (std::size_t j = 0; j < cand.size(); ++j) {
-          if (i != j) nearest = std::min(nearest, num::dist2(cand[i].f, cand[j].f));
+          if (i != j) nearest = std::min(nearest, num::dist(cand[i].f, cand[j].f));
         }
         if (nearest < min_d) {
           min_d = nearest;

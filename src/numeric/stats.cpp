@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace rmp::num {
 
@@ -27,8 +28,12 @@ double variance(std::span<const double> a) {
 double stddev(std::span<const double> a) { return std::sqrt(variance(a)); }
 
 double percentile(std::span<const double> a, double p) {
-  assert(!a.empty());
-  assert(p >= 0.0 && p <= 100.0);
+  if (a.empty()) {
+    throw std::invalid_argument("num::percentile: empty input");
+  }
+  // Out-of-range p clamps to the nearest bound (min / max) instead of
+  // indexing out of bounds in Release builds.
+  p = std::clamp(p, 0.0, 100.0);
   std::vector<double> sorted(a.begin(), a.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();

@@ -14,9 +14,13 @@ namespace rmp::num {
 
 [[nodiscard]] double stddev(std::span<const double> a);
 
-/// Linear-interpolation percentile, p in [0, 100]; input need not be sorted.
+/// Linear-interpolation percentile; input need not be sorted.  p outside
+/// [0, 100] clamps to the nearest bound; an empty input throws
+/// std::invalid_argument (summarize() reports empty inputs as a zeroed
+/// Summary instead of calling this).
 [[nodiscard]] double percentile(std::span<const double> a, double p);
 
+/// percentile(a, 50); throws std::invalid_argument on empty input.
 [[nodiscard]] double median(std::span<const double> a);
 
 /// Pearson correlation of two equal-length samples; 0 when degenerate.

@@ -70,6 +70,10 @@ double norm_inf(std::span<const double> a) {
   return acc;
 }
 
+double dist(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(dist2(a, b));
+}
+
 double dist2(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
   double acc = 0.0;
@@ -77,7 +81,7 @@ double dist2(std::span<const double> a, std::span<const double> b) {
     const double d = a[i] - b[i];
     acc += d * d;
   }
-  return std::sqrt(acc);
+  return acc;
 }
 
 double dist_inf(std::span<const double> a, std::span<const double> b) {

@@ -51,6 +51,10 @@ void axpy(Vec& y, double s, std::span<const double> a);
 [[nodiscard]] double norm_inf(std::span<const double> a);
 
 /// Euclidean distance between two equal-length vectors.
+[[nodiscard]] double dist(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance (no sqrt) — for nearest-neighbor comparisons
+/// where only the ordering matters.
 [[nodiscard]] double dist2(std::span<const double> a, std::span<const double> b);
 
 /// Chebyshev (max-abs) distance.

@@ -48,7 +48,7 @@ double inverted_generational_distance(const Front& front, const Front& reference
   for (const Individual& r : reference.members()) {
     double nearest = std::numeric_limits<double>::infinity();
     for (const Individual& m : front.members()) {
-      nearest = std::min(nearest, num::dist2(r.f, m.f));
+      nearest = std::min(nearest, num::dist(r.f, m.f));
     }
     total += nearest;
   }

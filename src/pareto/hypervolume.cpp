@@ -10,7 +10,12 @@ namespace rmp::pareto {
 
 namespace {
 
-bool weakly_dominates_reference(const num::Vec& p, const num::Vec& ref) {
+/// True iff p is strictly better than the reference point in EVERY
+/// objective — the condition for a point to enclose positive volume.  A
+/// point on the reference boundary (p[j] == ref[j] for some j) contributes
+/// zero volume and is filtered out here; this is deliberately stricter than
+/// weak dominance, which would admit boundary points.
+bool strictly_inside_reference(const num::Vec& p, const num::Vec& ref) {
   for (std::size_t j = 0; j < p.size(); ++j) {
     if (p[j] >= ref[j]) return false;
   }
@@ -95,7 +100,7 @@ double hypervolume(std::span<const num::Vec> points, const num::Vec& reference) 
   pts.reserve(points.size());
   for (const num::Vec& p : points) {
     assert(p.size() == reference.size());
-    if (weakly_dominates_reference(p, reference)) pts.push_back(p);
+    if (strictly_inside_reference(p, reference)) pts.push_back(p);
   }
   if (pts.empty()) return 0.0;
   if (reference.size() == 1) {

@@ -29,11 +29,11 @@ std::vector<num::Vec> normalized_objectives(const Front& front) {
 double metric_distance(DistanceMetric metric, std::span<const double> a,
                        std::span<const double> b) {
   switch (metric) {
-    case DistanceMetric::kEuclidean: return num::dist2(a, b);
+    case DistanceMetric::kEuclidean: return num::dist(a, b);
     case DistanceMetric::kManhattan: return num::dist1(a, b);
     case DistanceMetric::kChebyshev: return num::dist_inf(a, b);
   }
-  return num::dist2(a, b);
+  return num::dist(a, b);
 }
 
 }  // namespace
@@ -99,7 +99,7 @@ std::vector<std::size_t> equally_spaced(const Front& front, std::size_t k) {
   const auto norm = normalized_objectives(front);
   std::vector<double> arc(front.size(), 0.0);
   for (std::size_t i = 1; i < order.size(); ++i) {
-    arc[i] = arc[i - 1] + num::dist2(norm[order[i]], norm[order[i - 1]]);
+    arc[i] = arc[i - 1] + num::dist(norm[order[i]], norm[order[i - 1]]);
   }
   const double total = arc.back();
 

@@ -157,6 +157,26 @@ TEST(OptimizerRegistryTest, RejectsUnknownNamesAndParams) {
                SpecError);
 }
 
+TEST(OptimizerRegistryTest, RejectsOddNsga2Population) {
+  // NSGA-II's mating loop pairs parents; an odd population used to be bumped
+  // to even silently.  The spec layer now rejects it with the field named,
+  // both for a direct nsga2 run and for pmo2's default NSGA-II islands.
+  const moo::Zdt1 problem(6);
+  const OptimizerContext ctx{5, 1};
+  const auto& reg = OptimizerRegistry::global();
+  EXPECT_THROW((void)reg.make("nsga2?population=31", problem, ctx), SpecError);
+  EXPECT_THROW((void)reg.make("nsga2?population=2", problem, ctx), SpecError);
+  EXPECT_THROW((void)reg.make("pmo2?population=31", problem, ctx), SpecError);
+  // An explicit engines list validates at island construction, but still
+  // through the registry's nsga2 factory — the caller sees SpecError, not a
+  // bare std::invalid_argument escaping from deep inside Pmo2.
+  EXPECT_THROW((void)reg.make("pmo2?engines=nsga2&population=31", problem, ctx),
+               SpecError);
+  // Even populations still construct.
+  EXPECT_NE(reg.make("nsga2?population=32", problem, ctx), nullptr);
+  EXPECT_NE(reg.make("pmo2?population=32&islands=2", problem, ctx), nullptr);
+}
+
 TEST(OptimizerRegistryTest, ValidateChecksKeysWithoutConstructing) {
   ProblemRegistry::global().validate("geobacter?repair=0");   // no network built
   OptimizerRegistry::global().validate("pmo2?islands=4&engines=nsga2");

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "moo/dominance.hpp"
 #include "numeric/rng.hpp"
@@ -105,7 +108,7 @@ TEST(ArchiveTest, OfferAllFromPopulation) {
   EXPECT_EQ(a.size(), 3u);
 }
 
-TEST(ArchiveTest, FingerprintTracksContentAndOrder) {
+TEST(ArchiveTest, FingerprintIsContentIdentity) {
   Archive a;
   a.offer(make(1.0, 3.0));
   a.offer(make(3.0, 1.0));
@@ -114,11 +117,12 @@ TEST(ArchiveTest, FingerprintTracksContentAndOrder) {
   b.offer(make(3.0, 1.0));
   EXPECT_EQ(a.fingerprint(), b.fingerprint());
 
-  // Insertion order is part of the identity (the ordered-merge contract).
+  // Members are stored in canonical order, so offering the same content in
+  // reverse yields the same identity — the batch-merge contract.
   Archive reversed;
   reversed.offer(make(3.0, 1.0));
   reversed.offer(make(1.0, 3.0));
-  EXPECT_NE(a.fingerprint(), reversed.fingerprint());
+  EXPECT_EQ(a.fingerprint(), reversed.fingerprint());
 
   // Any single-bit change in a member changes the hash.
   Archive tweaked;
@@ -127,6 +131,150 @@ TEST(ArchiveTest, FingerprintTracksContentAndOrder) {
   EXPECT_NE(a.fingerprint(), tweaked.fingerprint());
 
   EXPECT_EQ(Archive().fingerprint(), Archive().fingerprint());
+}
+
+TEST(ArchiveTest, SolutionsAreCanonicallyOrdered) {
+  num::Rng rng(11);
+  Archive a;
+  for (int i = 0; i < 200; ++i) a.offer(make(rng.uniform(), rng.uniform()));
+  const auto sols = a.solutions();
+  for (std::size_t i = 1; i < sols.size(); ++i) {
+    EXPECT_LT(sols[i - 1].f[0], sols[i].f[0]);  // lexicographic ascending
+  }
+}
+
+TEST(ArchiveTest, OfferAllIsOneTransaction) {
+  // A batch member dominated by a later batch member never enters, and the
+  // dominating member lands exactly once.
+  std::vector<Individual> batch{make(2.0, 2.0), make(1.0, 1.0)};
+  Archive a;
+  a.offer_all(batch);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.solutions()[0].f, (num::Vec{1.0, 1.0}));
+}
+
+TEST(ArchiveTest, DuplicateObjectivesKeepFirstOfferedDecisionVector) {
+  Individual first = make(1.0, 2.0);
+  first.x = {10.0, 20.0};
+  Individual second = make(1.0, 2.0);
+  second.x = {30.0, 40.0};
+  std::vector<Individual> batch{first, second};
+  Archive a;
+  a.offer_all(batch);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.solutions()[0].x, (num::Vec{10.0, 20.0}));
+}
+
+/// Random mixed workload: nondominated staircase points, dominated noise,
+/// duplicates and infeasibles.
+std::vector<Individual> random_batch(num::Rng& rng, std::size_t count) {
+  std::vector<Individual> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = rng.uniform();
+    Individual ind = make(u, (1.0 - u) * (1.0 + 0.3 * rng.uniform()));
+    if (rng.bernoulli(0.05)) ind.violation = 1.0;               // infeasible
+    if (!out.empty() && rng.bernoulli(0.05)) ind.f = out.back().f;  // duplicate
+    out.push_back(std::move(ind));
+  }
+  return out;
+}
+
+TEST(ArchiveTest, BatchAndNaivePoliciesAreBitIdentical) {
+  for (const std::size_t capacity : {std::size_t{0}, std::size_t{40}}) {
+    num::Rng rng(17);
+    Archive batch_archive(capacity, ArchiveMerge::kBatch);
+    Archive naive_archive(capacity, ArchiveMerge::kNaive);
+    for (int round = 0; round < 30; ++round) {
+      const auto batch = random_batch(rng, 1 + static_cast<std::size_t>(round) % 60);
+      batch_archive.offer_all(batch);
+      naive_archive.offer_all(batch);
+      ASSERT_EQ(batch_archive.fingerprint(), naive_archive.fingerprint())
+          << "capacity " << capacity << ", round " << round;
+    }
+    EXPECT_GT(batch_archive.size(), 0u);
+    if (capacity != 0) {
+      EXPECT_LE(batch_archive.size(), capacity);
+    }
+  }
+}
+
+TEST(ArchiveTest, UnboundedMergeIsGroupingAndOrderInvariant) {
+  num::Rng rng(23);
+  std::vector<Individual> all = random_batch(rng, 300);
+
+  Archive one_shot;
+  one_shot.offer_all(all);
+
+  Archive chunked;
+  for (std::size_t start = 0; start < all.size(); start += 37) {
+    const std::size_t len = std::min<std::size_t>(37, all.size() - start);
+    chunked.offer_all(std::span<const Individual>(all).subspan(start, len));
+  }
+  EXPECT_EQ(one_shot.fingerprint(), chunked.fingerprint());
+
+  // Without duplicates the membership is order-free too (duplicates tie to
+  // first-offer, so shuffle only the duplicate-free variant).
+  std::vector<Individual> unique;
+  for (const Individual& ind : all) {
+    bool dup = false;
+    for (const Individual& u : unique) {
+      if (u.f == ind.f) dup = true;
+    }
+    if (!dup) unique.push_back(ind);
+  }
+  Archive forward;
+  forward.offer_all(unique);
+  std::reverse(unique.begin(), unique.end());
+  Archive backward;
+  backward.offer_all(unique);
+  EXPECT_EQ(forward.fingerprint(), backward.fingerprint());
+}
+
+TEST(ArchiveTest, PruneBreaksCrowdingTiesCanonically) {
+  // Four evenly spaced collinear points: the two interior members carry
+  // identical crowding (4/3 each), so pruning one must pick the victim by
+  // the canonical rule — evict the canonically-later member — and not by
+  // insertion order, which the old std::min_element scan depended on.
+  const std::vector<Individual> points{make(0.0, 3.0), make(1.0, 2.0),
+                                       make(2.0, 1.0), make(3.0, 0.0)};
+  std::vector<Individual> reversed(points.rbegin(), points.rend());
+
+  Archive forward(3);
+  forward.offer_all(points);
+  Archive backward(3);
+  backward.offer_all(reversed);
+
+  ASSERT_EQ(forward.size(), 3u);
+  EXPECT_EQ(forward.fingerprint(), backward.fingerprint());
+  // The interior tie evicts (2, 1) — the canonically later of the two.
+  EXPECT_EQ(forward.solutions()[0].f, (num::Vec{0.0, 3.0}));
+  EXPECT_EQ(forward.solutions()[1].f, (num::Vec{1.0, 2.0}));
+  EXPECT_EQ(forward.solutions()[2].f, (num::Vec{3.0, 0.0}));
+
+  // The naive reference applies the same rule.
+  Archive naive(3, ArchiveMerge::kNaive);
+  naive.offer_all(points);
+  EXPECT_EQ(naive.fingerprint(), forward.fingerprint());
+}
+
+TEST(ArchiveTest, ThreeObjectiveBatchMatchesNaive) {
+  num::Rng rng(31);
+  Archive batch_archive(25, ArchiveMerge::kBatch);
+  Archive naive_archive(25, ArchiveMerge::kNaive);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Individual> pop;
+    for (int i = 0; i < 50; ++i) {
+      Individual ind;
+      ind.f = {rng.uniform(), rng.uniform(), rng.uniform()};
+      ind.x = ind.f;
+      pop.push_back(std::move(ind));
+    }
+    batch_archive.offer_all(pop);
+    naive_archive.offer_all(pop);
+    ASSERT_EQ(batch_archive.fingerprint(), naive_archive.fingerprint())
+        << "round " << round;
+  }
 }
 
 TEST(ArchiveTest, ClearEmpties) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "numeric/rng.hpp"
@@ -168,6 +169,78 @@ TEST(NondominatedIndicesTest, InfeasibleOnlyPopulation) {
                               make({2.0, 2.0}, 2.0)};
   const auto idx = nondominated_indices(pop);
   EXPECT_EQ(idx, (std::vector<std::size_t>{1}));
+}
+
+/// A hostile random population for the two-objective sweep: clustered values
+/// force exact coordinate ties, plus exact duplicates and infeasibles.
+std::vector<Individual> random_two_objective_pop(num::Rng& rng, std::size_t n) {
+  std::vector<Individual> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Quantized coordinates: ~8 distinct values per axis, so equal-f0 and
+    // equal-f1 ties are common.
+    const double f0 = std::floor(rng.uniform() * 8.0);
+    const double f1 = std::floor(rng.uniform() * 8.0);
+    Individual ind = make({f0, f1});
+    if (rng.bernoulli(0.1)) ind.violation = std::floor(rng.uniform() * 3.0) + 1.0;
+    if (!pop.empty() && rng.bernoulli(0.1)) {
+      ind.f = pop.back().f;  // exact duplicate fitness
+      ind.violation = pop.back().violation;
+    }
+    pop.push_back(std::move(ind));
+  }
+  return pop;
+}
+
+TEST(SortTest, TwoObjectiveSweepMatchesPairwiseReference) {
+  num::Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Individual> pop =
+        random_two_objective_pop(rng, 1 + static_cast<std::size_t>(trial) * 3);
+    std::vector<Individual> copy = pop;
+
+    const auto sweep = fast_nondominated_sort(pop);           // O(N log N) path
+    const auto reference = fast_nondominated_sort_pairwise(copy);  // O(N^2) path
+
+    ASSERT_EQ(sweep, reference) << "trial " << trial;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      EXPECT_EQ(pop[i].rank, copy[i].rank) << "trial " << trial << ", index " << i;
+    }
+  }
+}
+
+TEST(SortTest, FrontsAreAscendingIndexOrder) {
+  num::Rng rng(5);
+  std::vector<Individual> two = random_two_objective_pop(rng, 80);
+  for (const auto& front : fast_nondominated_sort(two)) {
+    EXPECT_TRUE(std::is_sorted(front.begin(), front.end()));
+  }
+  std::vector<Individual> three;
+  for (int i = 0; i < 60; ++i) {
+    three.push_back(make({rng.uniform(), rng.uniform(), rng.uniform()}));
+  }
+  for (const auto& front : fast_nondominated_sort(three)) {
+    EXPECT_TRUE(std::is_sorted(front.begin(), front.end()));
+  }
+}
+
+TEST(NondominatedIndicesTest, TwoObjectiveSweepMatchesPairwiseScan) {
+  num::Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<Individual> pop =
+        random_two_objective_pop(rng, 1 + static_cast<std::size_t>(trial) * 3);
+    const auto fast = nondominated_indices(pop);
+    // Reference: direct O(N^2) definition.
+    std::vector<std::size_t> slow;
+    for (std::size_t p = 0; p < pop.size(); ++p) {
+      bool dominated = false;
+      for (std::size_t q = 0; q < pop.size() && !dominated; ++q) {
+        if (q != p && constrained_dominates(pop[q], pop[p])) dominated = true;
+      }
+      if (!dominated) slow.push_back(p);
+    }
+    ASSERT_EQ(fast, slow) << "trial " << trial;
+  }
 }
 
 }  // namespace

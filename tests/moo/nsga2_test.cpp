@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "moo/dominance.hpp"
 #include "moo/testproblems.hpp"
@@ -36,13 +37,15 @@ TEST(Nsga2Test, InitializePopulatesAndEvaluates) {
   }
 }
 
-TEST(Nsga2Test, OddPopulationRoundedUp) {
+TEST(Nsga2Test, OddPopulationRejected) {
+  // Odd sizes used to be silently bumped to even, which skewed every
+  // downstream count; the constructor now refuses them loudly.
   const Zdt1 problem(5);
   Nsga2Options o;
   o.population_size = 21;
-  Nsga2 alg(problem, o);
-  alg.initialize();
-  EXPECT_EQ(alg.population().size(), 22u);
+  EXPECT_THROW(Nsga2(problem, o), std::invalid_argument);
+  o.population_size = 2;  // even but below the minimum of 4
+  EXPECT_THROW(Nsga2(problem, o), std::invalid_argument);
 }
 
 TEST(Nsga2Test, StepKeepsPopulationSizeAndAddsEvaluations) {

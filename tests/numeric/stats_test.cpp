@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 namespace rmp::num {
 namespace {
@@ -26,6 +27,30 @@ TEST(StatsTest, PercentileInterpolation) {
   EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
   EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(StatsTest, PercentileOutOfRangeClampsInsteadOfIndexingOutOfBounds) {
+  // Out-of-range p used to be guarded only by assert(), so Release builds
+  // read past the sorted buffer; it now clamps to the nearest bound.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, -1e9), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 150.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1e9), 4.0);
+}
+
+TEST(StatsTest, PercentileOfEmptyThrows) {
+  EXPECT_THROW((void)percentile(std::vector<double>{}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)median(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(StatsTest, SummarizeEmptyIsZeroedAndDoesNotThrow) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.p25, 0.0);
+  EXPECT_DOUBLE_EQ(s.p75, 0.0);
 }
 
 TEST(StatsTest, PercentileUnsortedInput) {

@@ -39,14 +39,23 @@ TEST(VecTest, DotAndNorms) {
 TEST(VecTest, Distances) {
   const Vec a{0.0, 0.0};
   const Vec b{3.0, 4.0};
-  EXPECT_DOUBLE_EQ(dist2(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(dist(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(dist2(a, b), 25.0);  // squared, no sqrt
   EXPECT_DOUBLE_EQ(dist1(a, b), 7.0);
   EXPECT_DOUBLE_EQ(dist_inf(a, b), 4.0);
+}
+
+TEST(VecTest, DistSquaredConsistency) {
+  const Vec a{1.0, 2.0, -3.0};
+  const Vec b{0.5, -1.0, 4.0};
+  EXPECT_NEAR(dist(a, b) * dist(a, b), dist2(a, b), 1e-12 * dist2(a, b));
+  EXPECT_DOUBLE_EQ(dist2(a, a), 0.0);
 }
 
 TEST(VecTest, DistanceIsSymmetric) {
   const Vec a{1.0, -2.0, 0.5};
   const Vec b{-4.0, 0.25, 3.0};
+  EXPECT_DOUBLE_EQ(dist(a, b), dist(b, a));
   EXPECT_DOUBLE_EQ(dist2(a, b), dist2(b, a));
   EXPECT_DOUBLE_EQ(dist1(a, b), dist1(b, a));
   EXPECT_DOUBLE_EQ(dist_inf(a, b), dist_inf(b, a));

@@ -32,6 +32,27 @@ TEST(HypervolumeTest, PointOutsideReferenceIgnored) {
   EXPECT_DOUBLE_EQ(hypervolume(pts, num::Vec{3.0, 3.0}), 4.0);
 }
 
+TEST(HypervolumeTest, PointOnReferenceBoundaryContributesZero) {
+  // A point whose coordinate EQUALS the reference encloses zero volume: it
+  // must be filtered, not crash and not count (the filter predicate tests
+  // strict improvement in every objective, not weak dominance).
+  const num::Vec ref{3.0, 3.0};
+  EXPECT_DOUBLE_EQ(hypervolume(std::vector<num::Vec>{{1.0, 3.0}}, ref), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume(std::vector<num::Vec>{{3.0, 3.0}}, ref), 0.0);
+  // Alongside an interior point the boundary point adds nothing.
+  EXPECT_DOUBLE_EQ(
+      hypervolume(std::vector<num::Vec>{{1.0, 1.0}, {0.5, 3.0}}, ref), 4.0);
+}
+
+TEST(HypervolumeTest, BoundaryPointIn3d) {
+  const num::Vec ref{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(
+      hypervolume(std::vector<num::Vec>{{0.0, 0.0, 1.0}}, ref), 0.0);
+  EXPECT_DOUBLE_EQ(
+      hypervolume(std::vector<num::Vec>{{0.5, 0.5, 0.5}, {0.0, 0.0, 1.0}}, ref),
+      0.125);
+}
+
 TEST(HypervolumeTest, EmptySetIsZero) {
   EXPECT_DOUBLE_EQ(hypervolume(std::vector<num::Vec>{}, num::Vec{1.0, 1.0}), 0.0);
 }
