@@ -31,20 +31,24 @@ grep -q '"fingerprint": "0x' "${BUILD_DIR}/rmp_run_result.json" \
   || { echo "rmp_run result carries no fingerprint" >&2; exit 1; }
 
 # Benchmark smoke: emits and prints BENCH_pmo2.json (island-scaling wall
-# times, speedups, the bit-identical-archive check) and BENCH_archive.json
-# (batch-vs-naive merge engine cross-check) under
+# times, speedups, the bit-identical-archive check), BENCH_archive.json
+# (batch-vs-naive merge engine cross-check) and BENCH_kinetics.json (the
+# steady-state engine vs its FD/cold-start baseline, with thread-invariant
+# archive fingerprints per solver configuration) under
 # ${BUILD_DIR}/bench-results, and logs the ablations + micro-kernels.
-# Fails the build when the archipelago determinism contract or the archive
-# merge equivalence is broken.
+# Fails the build when the archipelago determinism contract, the archive
+# merge equivalence, or the kinetic-engine determinism contract is broken.
 RMP_BENCH_SMOKE=1 BUILD_DIR="${BUILD_DIR}" \
   OUT_DIR="${BUILD_DIR}/bench-results" bench/run_benchmarks.sh
 
-# ASan+UBSan Debug pass over the algorithmic core (moo / pareto / numeric):
-# the layers where an out-of-bounds index or UB-reliant shortcut (the old
-# percentile Release OOB class) would otherwise slip through Release CI.
-# -fno-sanitize-recover (set by RMP_SANITIZE in CMake) turns every UBSan
-# finding into a test failure.  Only the affected test binaries are built —
-# the full suite already ran above.
+# ASan+UBSan Debug pass over the algorithmic core (moo / pareto / numeric)
+# plus the layers this PR rebuilt (kinetics steady-state engine, numeric
+# solvers, robustness Monte-Carlo): the places where an out-of-bounds index
+# or UB-reliant shortcut (the old percentile Release OOB class) would
+# otherwise slip through Release CI.  -fno-sanitize-recover (set by
+# RMP_SANITIZE in CMake) turns every UBSan finding into a test failure.
+# Only the affected test binaries are built — the full suite already ran
+# above.
 SAN_BUILD_DIR="${SAN_BUILD_DIR:-${BUILD_DIR}-asan}"
 SAN_TESTS=(
   moo_archive_test moo_dominance_test moo_moead_test moo_nsga2_test
@@ -53,7 +57,10 @@ SAN_TESTS=(
   pareto_mining_test
   numeric_matrix_test numeric_newton_test numeric_ode_test numeric_rng_test
   numeric_simplex_test numeric_sparse_test numeric_stats_test
-  numeric_vec_test)
+  numeric_vec_test
+  kinetics_c3model_test kinetics_control_analysis_test kinetics_enzymes_test
+  kinetics_problem_test kinetics_warm_start_test
+  robustness_robustness_test)
 
 cmake -B "${SAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \

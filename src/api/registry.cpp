@@ -193,7 +193,7 @@ void register_builtin_problems(ProblemRegistry& reg) {
           [](const ParamMap&) { return std::make_shared<moo::BinhKorn>(); });
   reg.add("photosynthesis",
           "C3 enzyme partition design; scenario in {past,present,future}-{low,high}",
-          {"scenario"}, [](const ParamMap& p) {
+          {"scenario", "jacobian", "chord", "pool"}, [](const ParamMap& p) {
             const std::string label = param_string(p, "scenario", "present-high");
             const kinetics::Scenario* s = kinetics::scenario_by_label(label);
             if (s == nullptr) {
@@ -204,7 +204,23 @@ void register_builtin_problems(ProblemRegistry& reg) {
               throw SpecError("unknown photosynthesis scenario \"" + label +
                               "\" (known: " + join(labels) + ")");
             }
-            return kinetics::make_problem(*s);
+            // Steady-state solver strategy (defaults = the optimized engine;
+            // jacobian=fd&chord=1&pool=0 is the FD/cold-start baseline the
+            // kinetics bench measures against).
+            kinetics::C3Config cfg = kinetics::scenario_config(*s);
+            const std::string jac = param_string(p, "jacobian", "analytic");
+            if (jac == "analytic") {
+              cfg.analytic_jacobian = true;
+            } else if (jac == "fd") {
+              cfg.analytic_jacobian = false;
+            } else {
+              throw SpecError("photosynthesis jacobian must be \"analytic\" or "
+                              "\"fd\", got \"" + jac + "\"");
+            }
+            cfg.chord_max_age = param_size(p, "chord", cfg.chord_max_age);
+            cfg.warm_pool_capacity = param_size(p, "pool", cfg.warm_pool_capacity);
+            return std::make_shared<kinetics::PhotosynthesisProblem>(
+                std::make_shared<const kinetics::C3Model>(cfg));
           });
   reg.add("geobacter",
           "Geobacter 608-reaction flux design (EP vs BP, steady-state violation)",

@@ -43,6 +43,9 @@ robustness::YieldConfig yield_config(const RunSpec& spec, const moo::Problem& pr
   cfg.epsilon_fraction = spec.robustness.epsilon_fraction;
   cfg.seed = spec.robustness.seed;
   cfg.threads = spec.threads;
+  // Serial barriers around each ensemble fold solved steady states into the
+  // problem's evaluation accelerators (the kinetic warm-start pool).
+  cfg.epoch_commit = [p = &problem] { p->commit_epoch(); };
   return cfg;
 }
 

@@ -19,6 +19,13 @@ DesignReport RobustDesigner::design(const moo::Problem& problem,
 
   const bool robust = config_.run_robustness && property != nullptr;
 
+  // The robustness stages run against the same problem (and thus the same
+  // kinetic model) the optimizer just finished with: wiring the ensembles'
+  // epoch barrier to the problem lets every Monte-Carlo trial warm-start
+  // from the run's committed steady-state pool.
+  robustness::SurfaceConfig surface_cfg = config_.surface;
+  surface_cfg.yield.epoch_commit = [p = &problem] { p->commit_epoch(); };
+
   auto mine = [&](std::string selection, std::size_t idx) {
     MinedCandidate c;
     c.selection = std::move(selection);
@@ -26,7 +33,7 @@ DesignReport RobustDesigner::design(const moo::Problem& problem,
     c.x = report.front[idx].x;
     c.objectives = report.front[idx].f;
     if (robust) {
-      c.yield = robustness::global_yield(c.x, property, config_.surface.yield);
+      c.yield = robustness::global_yield(c.x, property, surface_cfg.yield);
     }
     report.mined.push_back(std::move(c));
   };
@@ -41,7 +48,7 @@ DesignReport RobustDesigner::design(const moo::Problem& problem,
   // 3. Robustness screening along the front.
   if (robust) {
     report.surface = robustness::robustness_surface(report.front, property,
-                                                    config_.surface);
+                                                    surface_cfg);
     // 4. Max-yield candidate among the screened points.
     if (!report.surface.empty()) {
       const auto best = std::max_element(

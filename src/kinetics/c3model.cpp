@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 
 #include "core/parallel.hpp"
 
@@ -15,9 +16,13 @@ namespace {
 /// Simple saturating term x / (x + k).
 double mm(double x, double k) { return x / (x + k); }
 
+/// d/dx of mm(x, k).
+double dmm(double x, double k) { return k / ((x + k) * (x + k)); }
+
 }  // namespace
 
-C3Model::C3Model(C3Config config) : config_(config) {
+C3Model::C3Model(C3Config config)
+    : config_(config), warm_pool_(config.warm_pool_capacity) {
   // Solve the wild-type steady state once.  A cold start can transiently
   // drain the autocatalytic cycle in the harsher conditions (low Ci, high
   // export pull), so the solve walks a continuation ladder: first the benign
@@ -279,6 +284,404 @@ double C3Model::co2_uptake(std::span<const double> y,
 
 namespace {
 
+/// A metabolite's weight in a conserved-phosphate pool (phosphate groups per
+/// molecule) — the chain-rule fan-out of the free-Pi terms.
+struct PoolTerm {
+  std::size_t idx;
+  double w;
+};
+
+/// Esterified stromal phosphate, mirroring the sum in rates().
+constexpr PoolTerm kStromalEster[] = {
+    {kRuBP, 2.0}, {kPga, 1.0}, {kDpga, 2.0}, {kT3p, 1.0},
+    {kFbp, 2.0},  {kE4p, 1.0}, {kSbp, 2.0},  {kS7p, 1.0},
+    {kPeP, 1.0},  {kHeP, 1.0}, {kPgca, 1.0}, {kAtp, 1.0}};
+
+/// Esterified cytosolic phosphate, mirroring the sum in rates().
+constexpr PoolTerm kCytosolEster[] = {{kT3pc, 1.0}, {kFbpc, 2.0},
+                                      {kHePc, 1.0}, {kUdpg, 2.0},
+                                      {kSucp, 1.0}, {kF26bp, 2.0}};
+
+}  // namespace
+
+// The closed-form Jacobian.  Every rate law in rates() is a rational
+// function of a few states plus (for the stromal sector) the free-phosphate
+// pool, itself an affine function of twelve states — so each rate
+// contributes a small dense gradient, scattered into the matrix through the
+// same stoichiometry derivatives() uses.  The clamps (free Pi at
+// min_free_pi, ADP at 0) contribute zero derivative on their clamped branch;
+// the kinks are measure-zero and the solver's backtracking tolerates them.
+// Any edit to rates()/derivatives() must be mirrored here — the randomized
+// FD-vs-analytic differential test in tests/kinetics/c3model_test.cpp fails
+// loudly on divergence of any entry.
+void C3Model::jacobian_at(std::span<const double> y, std::span<const double> mult,
+                          num::Matrix& jac) const {
+  assert(y.size() == kNumMetabolites);
+  assert(mult.size() == kNumEnzymes);
+  const C3Config& c = config_;
+  const auto enz = enzyme_table();
+  auto vmax = [&](std::size_t e) { return mult[e] * enz[e].natural_vmax; };
+
+  if (jac.rows() != kNumMetabolites || jac.cols() != kNumMetabolites) {
+    jac = num::Matrix(kNumMetabolites, kNumMetabolites);
+  } else {
+    std::fill(jac.data().begin(), jac.data().end(), 0.0);
+  }
+
+  // --- conserved pools and their (clamped) sensitivities -------------------
+  double esterified = 0.0;
+  for (const PoolTerm& t : kStromalEster) esterified += t.w * y[t.idx];
+  const double fp_raw = c.stromal_phosphate_total - esterified;
+  const bool fp_clamped = fp_raw < c.min_free_pi;
+  const double fp = fp_clamped ? c.min_free_pi : fp_raw;
+  // dfp/dy[t.idx] = fp_clamped ? 0 : -t.w
+
+  double esterified_cyt = 0.0;
+  for (const PoolTerm& t : kCytosolEster) esterified_cyt += t.w * y[t.idx];
+  const double fpc_raw = c.cytosolic_phosphate_total - esterified_cyt;
+  const bool fpc_clamped = fpc_raw < c.min_free_pi;
+  const double fpc = fpc_clamped ? c.min_free_pi : fpc_raw;
+
+  const double adp = std::max(c.adenylate_total - y[kAtp], 0.0);
+  const double dadp_datp = y[kAtp] >= c.adenylate_total ? 0.0 : -1.0;
+
+  // --- Rubisco -------------------------------------------------------------
+  const double f_co2 = c.ci_ppm / (c.ci_ppm + c.kc_ppm * (1.0 + c.o2_ppm / c.ko_ppm));
+  const double f_o2 = c.o2_ppm / (c.o2_ppm + c.ko_ppm * (1.0 + c.ci_ppm / c.kc_ppm));
+  const double df_rubp = dmm(y[kRuBP], c.km_rubp);
+  const double dvc = vmax(kRubisco) * f_co2 * df_rubp;
+  const double dvo = vmax(kRubisco) * c.vo_vc_capacity_ratio * f_o2 * df_rubp;
+  // vc rows: -RuBP, +2 PGA;  vo rows: -RuBP, +PGA, +PGCA.
+  jac(kRuBP, kRuBP) += -dvc - dvo;
+  jac(kPga, kRuBP) += 2.0 * dvc + dvo;
+  jac(kPgca, kRuBP) += dvo;
+
+  // --- PGA kinase (reversible): v = V (PGA ATP - DPGA ADP / Keq) / D ------
+  {
+    const double v = vmax(kPgaKinase);
+    const double n = y[kPga] * y[kAtp] - y[kDpga] * adp / c.keq_pgak;
+    const double d = (y[kPga] + c.km_pga_pgak) * (y[kAtp] + c.km_atp_pgak);
+    const double inv_d2 = 1.0 / (d * d);
+    const double dn_dpga = y[kAtp];
+    const double dn_ddpga = -adp / c.keq_pgak;
+    const double dn_datp = y[kPga] - y[kDpga] * dadp_datp / c.keq_pgak;
+    const double dd_dpga = y[kAtp] + c.km_atp_pgak;
+    const double dd_datp = y[kPga] + c.km_pga_pgak;
+    const double g_pga = v * (dn_dpga * d - n * dd_dpga) * inv_d2;
+    const double g_dpga = v * dn_ddpga / d;
+    const double g_atp = v * (dn_datp * d - n * dd_datp) * inv_d2;
+    // rows: -PGA, +DPGA, -ATP.
+    jac(kPga, kPga) -= g_pga;
+    jac(kPga, kDpga) -= g_dpga;
+    jac(kPga, kAtp) -= g_atp;
+    jac(kDpga, kPga) += g_pga;
+    jac(kDpga, kDpga) += g_dpga;
+    jac(kDpga, kAtp) += g_atp;
+    jac(kAtp, kPga) -= g_pga;
+    jac(kAtp, kDpga) -= g_dpga;
+    jac(kAtp, kAtp) -= g_atp;
+  }
+
+  // --- GAPDH (reversible, Pi as product): v = V (DPGA - T3P fp / Keq) / D --
+  {
+    const double v = vmax(kGapDh);
+    const double n = y[kDpga] - y[kT3p] * fp / c.keq_gapdh;
+    const double d = y[kDpga] + c.km_dpga_gapdh;
+    const double inv_d2 = 1.0 / (d * d);
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kDpga, col) -= g;
+      jac(kT3p, col) += g;
+    };
+    // Chain through fp for every esterified state.
+    if (!fp_clamped) {
+      const double coeff = y[kT3p] / c.keq_gapdh;  // -dN/dfp
+      for (const PoolTerm& t : kStromalEster) {
+        scatter(t.idx, v * (coeff * t.w) / d);  // dN = -coeff * dfp = +coeff*w
+      }
+    }
+    // Direct parts.
+    scatter(kT3p, v * (-fp / c.keq_gapdh) / d);
+    scatter(kDpga, v * (1.0 * d - n * 1.0) * inv_d2);
+  }
+
+  // --- Calvin regeneration -------------------------------------------------
+  const double f6p = c.frac_f6p_hep * y[kHeP];
+  const double g1p = c.frac_g1p_hep * y[kHeP];
+  const double ru5p = c.frac_ru5p_pep * y[kPeP];
+
+  {  // FBP aldolase: v = V mm(T3P)^2 / (1 + FBP/Krev); rows -2 T3P, +FBP.
+    const double m = mm(y[kT3p], c.km_t3p_ald);
+    const double denom = 1.0 + y[kFbp] / c.km_fbp_ald_rev;
+    const double g_t3p = vmax(kFbpAldolase) * 2.0 * m * dmm(y[kT3p], c.km_t3p_ald) / denom;
+    const double g_fbp =
+        -vmax(kFbpAldolase) * m * m / (denom * denom * c.km_fbp_ald_rev);
+    jac(kT3p, kT3p) -= 2.0 * g_t3p;
+    jac(kT3p, kFbp) -= 2.0 * g_fbp;
+    jac(kFbp, kT3p) += g_t3p;
+    jac(kFbp, kFbp) += g_fbp;
+  }
+  {  // FBPase: rows -FBP, +HeP.
+    const double g = vmax(kFbpase) * dmm(y[kFbp], c.km_fbp_fbpase);
+    jac(kFbp, kFbp) -= g;
+    jac(kHeP, kFbp) += g;
+  }
+  {  // TK1 (F6P + T3P): rows -T3P, +E4P, +PeP, -HeP.
+    const double g_hep =
+        vmax(kTransketolase) * dmm(f6p, c.km_f6p_tk) * c.frac_f6p_hep * mm(y[kT3p], c.km_t3p_tk);
+    const double g_t3p =
+        vmax(kTransketolase) * mm(f6p, c.km_f6p_tk) * dmm(y[kT3p], c.km_t3p_tk);
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kT3p, col) -= g;
+      jac(kE4p, col) += g;
+      jac(kPeP, col) += g;
+      jac(kHeP, col) -= g;
+    };
+    scatter(kHeP, g_hep);
+    scatter(kT3p, g_t3p);
+  }
+  {  // TK2 (S7P + T3P): rows -T3P, -S7P, +2 PeP.
+    const double g_s7p =
+        vmax(kTransketolase) * dmm(y[kS7p], c.km_s7p_tk) * mm(y[kT3p], c.km_t3p_tk);
+    const double g_t3p =
+        vmax(kTransketolase) * mm(y[kS7p], c.km_s7p_tk) * dmm(y[kT3p], c.km_t3p_tk);
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kT3p, col) -= g;
+      jac(kS7p, col) -= g;
+      jac(kPeP, col) += 2.0 * g;
+    };
+    scatter(kS7p, g_s7p);
+    scatter(kT3p, g_t3p);
+  }
+  {  // SBP aldolase (E4P + T3P): rows -T3P, -E4P, +SBP.
+    const double g_e4p =
+        vmax(kSbpAldolase) * dmm(y[kE4p], c.km_e4p_sald) * mm(y[kT3p], c.km_t3p_sald);
+    const double g_t3p =
+        vmax(kSbpAldolase) * mm(y[kE4p], c.km_e4p_sald) * dmm(y[kT3p], c.km_t3p_sald);
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kT3p, col) -= g;
+      jac(kE4p, col) -= g;
+      jac(kSbp, col) += g;
+    };
+    scatter(kE4p, g_e4p);
+    scatter(kT3p, g_t3p);
+  }
+  {  // SBPase: rows -SBP, +S7P.
+    const double g = vmax(kSbpase) * dmm(y[kSbp], c.km_sbp_sbpase);
+    jac(kSbp, kSbp) -= g;
+    jac(kS7p, kSbp) += g;
+  }
+  {  // PRK with competitive PGA inhibition: rows +RuBP, -PeP, -ATP.
+    const double b = c.km_ru5p_prk * (1.0 + y[kPga] / c.ki_pga_prk);
+    const double denom = ru5p + b;
+    const double inv_denom2 = 1.0 / (denom * denom);
+    const double u = ru5p / denom;
+    const double m_atp = mm(y[kAtp], c.km_atp_prk);
+    const double g_pep =
+        vmax(kPrk) * m_atp * (b * inv_denom2) * c.frac_ru5p_pep;
+    const double g_pga = vmax(kPrk) * m_atp *
+                         (-ru5p * c.km_ru5p_prk / c.ki_pga_prk * inv_denom2);
+    const double g_atp = vmax(kPrk) * u * dmm(y[kAtp], c.km_atp_prk);
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kRuBP, col) += g;
+      jac(kPeP, col) -= g;
+      jac(kAtp, col) -= g;
+    };
+    scatter(kPeP, g_pep);
+    scatter(kPga, g_pga);
+    scatter(kAtp, g_atp);
+  }
+
+  // --- starch (ADPGPP, PGA/Pi-activated): rows -HeP, -ATP -------------------
+  {
+    const double rho = y[kPga] / std::max(fp, c.min_free_pi);
+    const double rho2 = rho * rho;
+    const double ka2 = c.ka_pga_adpgpp * c.ka_pga_adpgpp;
+    const double act = rho2 / (rho2 + ka2);
+    const double dact_drho = 2.0 * rho * ka2 / ((rho2 + ka2) * (rho2 + ka2));
+    const double base = vmax(kAdpgpp) * mm(g1p, c.km_g1p_adpgpp) * mm(y[kAtp], 0.3);
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kHeP, col) -= g;
+      jac(kAtp, col) -= g;
+    };
+    // Direct MM parts.
+    scatter(kHeP, vmax(kAdpgpp) * dmm(g1p, c.km_g1p_adpgpp) * c.frac_g1p_hep *
+                      mm(y[kAtp], 0.3) * act);
+    scatter(kAtp, vmax(kAdpgpp) * mm(g1p, c.km_g1p_adpgpp) * dmm(y[kAtp], 0.3) * act);
+    // Activation via rho = PGA / fp: direct PGA numerator ...
+    scatter(kPga, base * dact_drho / fp);
+    // ... and the fp chain (sequestration RAISES rho): drho = -rho dfp / fp.
+    if (!fp_clamped) {
+      for (const PoolTerm& t : kStromalEster) {
+        scatter(t.idx, base * dact_drho * (rho * t.w / fp));
+      }
+    }
+  }
+
+  // --- photorespiration ------------------------------------------------------
+  {  // PGCA phosphatase: rows -PGCA, +GCA.
+    const double g = vmax(kPgcaPase) * dmm(y[kPgca], c.km_pgca);
+    jac(kPgca, kPgca) -= g;
+    jac(kGca, kPgca) += g;
+  }
+  {  // glycolate oxidase: rows -GCA, +GOA.
+    const double g = vmax(kGoaOxidase) * dmm(y[kGca], c.km_gca);
+    jac(kGca, kGca) -= g;
+    jac(kGoa, kGca) += g;
+  }
+  {  // GGAT: rows -GOA, +GLY.
+    const double g = vmax(kGgat) * dmm(y[kGoa], c.km_goa_ggat);
+    jac(kGoa, kGoa) -= g;
+    jac(kGly, kGoa) += g;
+  }
+  {  // GSAT (GOA + SER): rows -GOA, +GLY, -SER, +HPR.
+    const double g_goa =
+        vmax(kGsat) * dmm(y[kGoa], c.km_goa_gsat) * mm(y[kSer], c.km_ser_gsat);
+    const double g_ser =
+        vmax(kGsat) * mm(y[kGoa], c.km_goa_gsat) * dmm(y[kSer], c.km_ser_gsat);
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kGoa, col) -= g;
+      jac(kGly, col) += g;
+      jac(kSer, col) -= g;
+      jac(kHpr, col) += g;
+    };
+    scatter(kGoa, g_goa);
+    scatter(kSer, g_ser);
+  }
+  {  // GDC: rows -2 GLY, +SER.
+    const double g = vmax(kGdc) * dmm(y[kGly], c.km_gly_gdc);
+    jac(kGly, kGly) -= 2.0 * g;
+    jac(kSer, kGly) += g;
+  }
+  {  // HPR reductase: rows -HPR, +GCEA.
+    const double g = vmax(kHprReductase) * dmm(y[kHpr], c.km_hpr);
+    jac(kHpr, kHpr) -= g;
+    jac(kGcea, kHpr) += g;
+  }
+  {  // glycerate kinase: rows -GCEA, +PGA, -ATP.
+    const double g_gcea =
+        vmax(kGceaKinase) * dmm(y[kGcea], c.km_gcea) * mm(y[kAtp], c.km_atp_gceak);
+    const double g_atp =
+        vmax(kGceaKinase) * mm(y[kGcea], c.km_gcea) * dmm(y[kAtp], c.km_atp_gceak);
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kGcea, col) -= g;
+      jac(kPga, col) += g;
+      jac(kAtp, col) -= g;
+    };
+    scatter(kGcea, g_gcea);
+    scatter(kAtp, g_atp);
+  }
+
+  // --- Pi-translocator export (T3P and PGA legs share the carrier) ----------
+  {
+    const double t3p_leg = (y[kT3p] / c.km_t3p_export) * (y[kT3p] / c.km_t3p_export);
+    const double pga_leg = (y[kPga] / c.km_pga_export) * (y[kPga] / c.km_pga_export);
+    const double dtleg = 2.0 * y[kT3p] / (c.km_t3p_export * c.km_t3p_export);
+    const double dpleg = 2.0 * y[kPga] / (c.km_pga_export * c.km_pga_export);
+    const double load = 1.0 + t3p_leg + pga_leg;
+    const double pi_term = mm(fpc, c.km_pi_cyt_export);
+    const double antiport = c.triose_export_vmax * pi_term * pi_term / load;
+    // dA/d(load-bearing state) and dA/d(cytosolic ester) pieces.
+    const double dA_dtleg = -antiport / load;  // = -Vex p^2 / load^2
+    const double dA_dpleg = dA_dtleg;
+    const auto scatter = [&](std::size_t col, double g_exp, double g_pga) {
+      jac(kT3p, col) -= g_exp;
+      jac(kPga, col) -= g_pga;
+      jac(kT3pc, col) += g_exp + g_pga;
+    };
+    // v_export = A tleg; v_export_pga = A pleg.
+    scatter(kT3p, dA_dtleg * dtleg * t3p_leg + antiport * dtleg,
+            dA_dtleg * dtleg * pga_leg);
+    scatter(kPga, dA_dpleg * dpleg * t3p_leg,
+            dA_dpleg * dpleg * pga_leg + antiport * dpleg);
+    if (!fpc_clamped) {
+      const double dp = dmm(fpc, c.km_pi_cyt_export);
+      for (const PoolTerm& t : kCytosolEster) {
+        // dA = Vex 2 p dp dfpc / load, with dfpc = -w.
+        const double dA =
+            -c.triose_export_vmax * 2.0 * pi_term * dp * t.w / load;
+        scatter(t.idx, dA * t3p_leg, dA * pga_leg);
+      }
+    }
+  }
+
+  // --- cytosolic sucrose path ------------------------------------------------
+  const double f6pc = c.frac_f6p_hep * y[kHePc];
+  const double g1pc = c.frac_g1p_hep * y[kHePc];
+  {  // cytosolic aldolase: v = V mm(T3Pc)^2; rows -2 T3Pc, +FBPc.
+    const double m = mm(y[kT3pc], c.km_t3pc_ald);
+    const double g = vmax(kCytFbpAldolase) * 2.0 * m * dmm(y[kT3pc], c.km_t3pc_ald);
+    jac(kT3pc, kT3pc) -= 2.0 * g;
+    jac(kFbpc, kT3pc) += g;
+  }
+  {  // cytosolic FBPase, F26BP-inhibited: rows -FBPc, +HePc.
+    const double b = c.km_fbpc_fbpase * (1.0 + y[kF26bp] / c.ki_f26bp_fbpase);
+    const double denom = y[kFbpc] + b;
+    const double inv_denom2 = 1.0 / (denom * denom);
+    const double g_fbpc = vmax(kCytFbpase) * b * inv_denom2;
+    const double g_f26 = -vmax(kCytFbpase) * y[kFbpc] *
+                         (c.km_fbpc_fbpase / c.ki_f26bp_fbpase) * inv_denom2;
+    jac(kFbpc, kFbpc) -= g_fbpc;
+    jac(kFbpc, kF26bp) -= g_f26;
+    jac(kHePc, kFbpc) += g_fbpc;
+    jac(kHePc, kF26bp) += g_f26;
+  }
+  {  // UDPGP: rows -HePc, +UDPG.
+    const double g = vmax(kUdpgp) * dmm(g1pc, c.km_hepc_udpgp) * c.frac_g1p_hep;
+    jac(kHePc, kHePc) -= g;
+    jac(kUdpg, kHePc) += g;
+  }
+  {  // SPS (UDPG + F6Pc): rows -HePc, -UDPG, +SUCP.
+    const double g_udpg =
+        vmax(kSps) * dmm(y[kUdpg], c.km_udpg_sps) * mm(f6pc, c.km_hepc_sps);
+    const double g_hepc = vmax(kSps) * mm(y[kUdpg], c.km_udpg_sps) *
+                          dmm(f6pc, c.km_hepc_sps) * c.frac_f6p_hep;
+    const auto scatter = [&](std::size_t col, double g) {
+      jac(kHePc, col) -= g;
+      jac(kUdpg, col) -= g;
+      jac(kSucp, col) += g;
+    };
+    scatter(kUdpg, g_udpg);
+    scatter(kHePc, g_hepc);
+  }
+  {  // SPP: row -SUCP (sucrose leaves the modeled system).
+    jac(kSucp, kSucp) -= vmax(kSpp) * dmm(y[kSucp], c.km_sucp_spp);
+  }
+  {  // F26BPase: rows -F26BP, +HePc.
+    const double g = vmax(kF26bpase) * dmm(y[kF26bp], c.km_f26bp_f26bpase);
+    jac(kF26bp, kF26bp) -= g;
+    jac(kHePc, kF26bp) += g;
+  }
+  {  // F26BP synthesis: rows +F26BP, -HePc.
+    const double g =
+        c.f26bp_synthesis_rate * dmm(f6pc, c.km_hepc_f26bpsyn) * c.frac_f6p_hep;
+    jac(kF26bp, kHePc) += g;
+    jac(kHePc, kHePc) -= g;
+  }
+
+  // --- ATP synthase: v = C mm(ADP) mm(fp); row +ATP --------------------------
+  {
+    const double g_atp = c.atp_synthesis_vmax * dmm(adp, c.km_adp_atpsyn) *
+                         dadp_datp * mm(fp, c.km_pi_atpsyn);
+    jac(kAtp, kAtp) += g_atp;
+    if (!fp_clamped) {
+      const double coeff =
+          c.atp_synthesis_vmax * mm(adp, c.km_adp_atpsyn) * dmm(fp, c.km_pi_atpsyn);
+      for (const PoolTerm& t : kStromalEster) {
+        jac(kAtp, t.idx) += coeff * (-t.w);
+      }
+    }
+  }
+}
+
+void C3Model::derivatives_and_jacobian(std::span<const double> y,
+                                       std::span<const double> mult,
+                                       num::Vec& dydt, num::Matrix& jac) const {
+  derivatives(y, mult, dydt);
+  jacobian_at(y, mult, jac);
+}
+
+namespace {
+
 /// A converged Newton root must also be physically meaningful: finite,
 /// non-negative, and inside the conserved-pool budgets.  (The dead state has
 /// a one-parameter family of roots with arbitrary ATP because all consumers
@@ -308,10 +711,21 @@ SteadyState C3Model::solve_from(std::span<const double> start,
   nopts.max_iterations = 60;
   nopts.tolerance = 2e-3;
   nopts.state_floor = 1e-12;
+  nopts.chord_max_age = std::max<std::size_t>(config_.chord_max_age, 1);
+  if (config_.analytic_jacobian) {
+    nopts.jacobian = [this, mult](std::span<const double> y, num::Matrix& jac) {
+      jacobian_at(y, mult, jac);
+    };
+  }
 
   SteadyState ss;
+  const auto tally = [&ss](const num::NewtonResult& r) {
+    ss.newton_iterations += r.iterations;
+    ss.rhs_evaluations += r.rhs_evaluations;
+    ss.jacobian_factorizations += r.jacobian_factorizations;
+  };
   num::NewtonResult newton = num::solve_newton(system, start, nopts);
-  ss.newton_iterations = newton.iterations;
+  tally(newton);
   bool accepted = newton.converged && physical_state(newton.x, config_);
 
   if (!accepted) {
@@ -323,13 +737,15 @@ SteadyState C3Model::solve_from(std::span<const double> start,
     popts.tolerance = nopts.tolerance;
     popts.state_floor = nopts.state_floor;
     popts.initial_timestep = 0.5;
+    popts.jacobian = nopts.jacobian;
+    popts.chord_max_age = nopts.chord_max_age;
     num::NewtonResult ptc = num::solve_pseudo_transient(system, start, popts);
-    ss.newton_iterations += ptc.iterations;
+    tally(ptc);
     if (!ptc.converged && ptc.residual_norm < 1.0) {
       // PTC rode the transient into the fixed point's neighbourhood; plain
       // Newton closes the remaining digits.
       num::NewtonResult polish = num::solve_newton(system, ptc.x, nopts);
-      ss.newton_iterations += polish.iterations;
+      tally(polish);
       if (polish.converged) ptc = std::move(polish);
     }
     if (ptc.converged && physical_state(ptc.x, config_)) {
@@ -353,6 +769,12 @@ SteadyState C3Model::solve_from(std::span<const double> start,
     iopts.initial_step = 1e-3;
     iopts.state_floor = 0.0;
     iopts.max_step = 50.0;
+    if (config_.analytic_jacobian) {
+      iopts.jacobian = [this, mult](double, std::span<const double> y,
+                                    num::Matrix& jac) {
+        jacobian_at(y, mult, jac);
+      };
+    }
 
     const num::OdeRhs rhs = [this, mult](double, std::span<const double> y,
                                          num::Vec& dydt) {
@@ -369,8 +791,11 @@ SteadyState C3Model::solve_from(std::span<const double> start,
       y = leg.y;
       t = leg.t;
       if (!leg.success || !num::all_finite(y)) break;
+      // Step-size continuation: later legs resume at the controller's step
+      // instead of re-ramping from the cold initial_step.
+      if (leg.last_step > 0.0) iopts.initial_step = leg.last_step;
       num::NewtonResult polished = num::solve_newton(system, y, nopts);
-      ss.newton_iterations += polished.iterations;
+      tally(polished);
       if (polished.converged && physical_state(polished.x, config_)) {
         newton = std::move(polished);
         accepted = true;
@@ -395,26 +820,82 @@ SteadyState C3Model::newton_attempt(std::span<const double> start,
   return solve_from(start, mult, /*allow_fallback=*/false);
 }
 
-namespace {
-/// Warm-start cache: the steady state of the previous successful evaluation
-/// on this thread.  Sequential callers evaluate similar candidates back to
-/// back, so this start succeeds far more often than any fixed anchor.
-/// Keyed by model identity; an accelerator whose result can differ in a
-/// Newton root's low-order bits from an anchor start — which is why it is
-/// bypassed entirely inside core parallel regions: there the item-to-thread
-/// assignment (and hence this cache's content) is nondeterministic, and the
-/// batch evaluator guarantees results that are a pure function of the
-/// candidate for any thread count.
-struct TlsWarmStart {
-  const void* model = nullptr;
-  num::Vec state;
-};
-thread_local TlsWarmStart tls_warm;
+SteadyState C3Model::quick_attempt(std::span<const double> start,
+                                   std::span<const double> mult,
+                                   const num::LuFactorization* warm_lu) const {
+  const num::NonlinearSystem system = [this, mult](std::span<const double> y,
+                                                   num::Vec& out) {
+    derivatives(y, mult, out);
+  };
+  num::NewtonOptions nopts;
+  nopts.max_iterations = 30;
+  nopts.tolerance = 2e-3;
+  nopts.state_floor = 1e-12;
+  nopts.chord_max_age = std::max<std::size_t>(config_.chord_max_age, 1);
+  nopts.warm_lu = warm_lu;
+  if (config_.analytic_jacobian) {
+    nopts.jacobian = [this, mult](std::span<const double> y, num::Matrix& jac) {
+      jacobian_at(y, mult, jac);
+    };
+  }
+  num::NewtonResult newton = num::solve_newton(system, start, nopts);
+  SteadyState ss;
+  ss.newton_iterations = newton.iterations;
+  ss.rhs_evaluations = newton.rhs_evaluations;
+  ss.jacobian_factorizations = newton.jacobian_factorizations;
+  ss.converged = newton.converged && physical_state(newton.x, config_);
+  ss.residual = newton.residual_norm;
+  ss.state = std::move(newton.x);
+  ss.co2_uptake = ss.converged ? co2_uptake(ss.state, mult) : 0.0;
+  return ss;
+}
 
-bool warm_start_allowed() { return !core::in_deterministic_region(); }
-}  // namespace
+num::Vec C3Model::warm_extrapolated_start(const WarmStartPool::Entry& entry,
+                                          std::span<const double> mult) const {
+  num::Vec start(entry.state);
+  WarmStartPool::RootCache& cache = *entry.root_cache;
+  std::call_once(cache.once, [&] {
+    // Pure function of the entry: whichever thread builds it, same LU.
+    num::Matrix jac;
+    jacobian_at(entry.state, entry.key, jac);
+    cache.lu = num::LuFactorization::compute(jac);
+    cache.valid = cache.lu.has_value();
+  });
+  if (!cache.valid) return start;
+  // F(y*, mult): every rate law is linear in its multiplier, so this equals
+  // dF/dmult * (mult - key) up to the entry's own residual (<= solver tol).
+  num::Vec f(kNumMetabolites);
+  derivatives(entry.state, mult, f);
+  const num::Vec step = cache.lu->solve(f);
+  if (!num::all_finite(step)) return start;
+  num::axpy(start, -1.0, step);
+  for (double& v : start) v = std::max(v, 1e-12);
+  if (!num::all_finite(start)) return num::Vec(entry.state);
+  return start;
+}
 
-SteadyState C3Model::steady_state(std::span<const double> mult) const {
+void C3Model::note_living_solution(std::span<const double> mult,
+                                   const num::Vec& state) const {
+  warm_pool_.record(mult, state);
+  // Outside core parallel regions there is no epoch barrier coming, and no
+  // determinism-across-thread-counts contract to protect either: committing
+  // right away keeps sequential callers (control analysis, A-Ci curves,
+  // ad-hoc scans) warm-starting from the candidate they just solved.
+  // Inside a region the entry stays staged until the engine's serial
+  // barrier calls commit_warm_starts().
+  if (!core::in_deterministic_region()) warm_pool_.commit();
+}
+
+void C3Model::commit_warm_starts() const {
+  // A nested engine (a PMO2 island's NSGA-II) reaches its own generation
+  // barrier while still inside the island parallel region; its commit must
+  // wait for the archipelago's serial epoch barrier.
+  if (core::in_deterministic_region()) return;
+  warm_pool_.commit();
+}
+
+SteadyState C3Model::steady_state(std::span<const double> mult,
+                                  std::span<const double> start_hint) const {
   // The collapsed ("dead leaf") state is a genuine root of the kinetics, so
   // a start inside its basin converges to it even when the candidate also
   // has a healthy attractor.  The search therefore prefers LIVING roots:
@@ -423,27 +904,58 @@ SteadyState C3Model::steady_state(std::span<const double> mult) const {
   // only when nothing else converged.
   constexpr double kAliveUptake = 0.5;
   std::optional<SteadyState> dead;
+  // Work counters accumulate over the WHOLE ladder, whichever attempt wins.
+  std::size_t iterations = 0, rhs = 0, factorizations = 0;
 
-  auto consider = [&](SteadyState ss) -> std::optional<SteadyState> {
+  auto finalize = [&](SteadyState ss) {
+    ss.newton_iterations = iterations;
+    ss.rhs_evaluations = rhs;
+    ss.jacobian_factorizations = factorizations;
+    return ss;
+  };
+  auto consider = [&](SteadyState ss, bool warm) -> std::optional<SteadyState> {
+    iterations += ss.newton_iterations;
+    rhs += ss.rhs_evaluations;
+    factorizations += ss.jacobian_factorizations;
     if (!ss.converged) return std::nullopt;
     if (ss.co2_uptake > kAliveUptake) {
-      if (warm_start_allowed()) {
-        tls_warm.model = this;
-        tls_warm.state = ss.state;
-      }
+      // Only genuine roots enter the pool: a limit-cycle AVERAGE is not a
+      // steady state, and handing it to a neighbour as a Newton start just
+      // burns the quick attempt before the ladder runs.
+      if (!ss.oscillatory) note_living_solution(mult, ss.state);
+      ss.warm_started = warm;
       return ss;
     }
     if (!dead) dead = std::move(ss);
     return std::nullopt;
   };
 
-  // 1. Cheap Newton attempts: warm start (always a living state), then the
+  // 1. Cheap Newton attempts: the caller's hint (e.g. control analysis
+  //    probing around a base it already solved), the nearest committed
+  //    warm-start-pool entry — a pure function of (candidate, snapshot), so
+  //    parallel batches stay bit-identical for any thread count — then the
   //    anchor ladder.
-  if (warm_start_allowed() && tls_warm.model == this && !tls_warm.state.empty()) {
-    if (auto alive = consider(newton_attempt(tls_warm.state, mult))) return *alive;
+  if (!start_hint.empty()) {
+    if (auto alive = consider(quick_attempt(start_hint, mult), true)) {
+      return finalize(std::move(*alive));
+    }
+  }
+  {
+    const WarmStartPool::Hit hit = warm_pool_.nearest_entry(mult);
+    if (hit.entry != nullptr) {
+      const num::Vec start = warm_extrapolated_start(*hit.entry, mult);
+      const WarmStartPool::RootCache& cache = *hit.entry->root_cache;
+      const num::LuFactorization* warm_lu =
+          cache.valid ? &*cache.lu : nullptr;
+      if (auto alive = consider(quick_attempt(start, mult, warm_lu), true)) {
+        return finalize(std::move(*alive));
+      }
+    }
   }
   for (const num::Vec& anchor : anchors_) {
-    if (auto alive = consider(newton_attempt(anchor, mult))) return *alive;
+    if (auto alive = consider(newton_attempt(anchor, mult), false)) {
+      return finalize(std::move(*alive));
+    }
   }
 
   // 2. Expensive path: integrate the natural transient under the candidate
@@ -451,7 +963,9 @@ SteadyState C3Model::steady_state(std::span<const double> mult) const {
   const num::Vec& start = natural_.converged ? natural_.state : default_initial_state();
   SteadyState ss =
       solve_from(start, mult, /*allow_fallback=*/!config_.fast_evaluation);
-  if (auto alive = consider(std::move(ss))) return *alive;
+  if (auto alive = consider(std::move(ss), false)) {
+    return finalize(std::move(*alive));
+  }
 
   // 3. Oscillation handling: near the model's Hopf boundary the kinetics
   //    orbit a limit cycle and no solver can settle.  Average one window of
@@ -459,14 +973,18 @@ SteadyState C3Model::steady_state(std::span<const double> mult) const {
   {
     SteadyState cyc = cycle_average(start, mult);
     if (cyc.converged) {
-      if (cyc.co2_uptake > kAliveUptake) return cyc;
+      if (cyc.co2_uptake > kAliveUptake) return finalize(std::move(cyc));
       if (!dead) dead = std::move(cyc);
     }
   }
 
-  if (dead) return *dead;
+  if (dead) return finalize(std::move(*dead));
   // Nothing converged: return the last attempt's diagnostics.
-  return solve_from(start, mult, /*allow_fallback=*/false);
+  SteadyState last = solve_from(start, mult, /*allow_fallback=*/false);
+  iterations += last.newton_iterations;
+  rhs += last.rhs_evaluations;
+  factorizations += last.jacobian_factorizations;
+  return finalize(std::move(last));
 }
 
 SteadyState C3Model::cycle_average(std::span<const double> start,
@@ -478,6 +996,12 @@ SteadyState C3Model::cycle_average(std::span<const double> start,
   iopts.initial_step = 1e-3;
   iopts.state_floor = 0.0;
   iopts.max_step = 20.0;
+  if (config_.analytic_jacobian) {
+    iopts.jacobian = [this, mult](double, std::span<const double> y,
+                                  num::Matrix& jac) {
+      jacobian_at(y, mult, jac);
+    };
+  }
 
   const num::OdeRhs rhs = [this, mult](double, std::span<const double> y,
                                        num::Vec& dydt) {
@@ -497,6 +1021,10 @@ SteadyState C3Model::cycle_average(std::span<const double> start,
   constexpr double kDt = 10.0;
   double t = 400.0;
   for (int s = 0; s < kSamples; ++s) {
+    // Step-size continuation across sampling windows: without it every
+    // window re-ramps the adaptive step from 1e-3, which used to cost more
+    // steps than the windows themselves.
+    if (leg.last_step > 0.0) iopts.initial_step = leg.last_step;
     leg = num::integrate(rhs, t, y, t + kDt, iopts);
     if (!leg.success || !num::all_finite(leg.y)) return ss;
     y = leg.y;

@@ -28,6 +28,8 @@
 #include <span>
 
 #include "kinetics/enzymes.hpp"
+#include "kinetics/warm_start.hpp"
+#include "numeric/matrix.hpp"
 #include "numeric/ode.hpp"
 #include "numeric/vec.hpp"
 
@@ -150,6 +152,23 @@ struct C3Config {
   /// natural state and anchors are always solved thoroughly.
   bool fast_evaluation = true;
 
+  // --- steady-state solver strategy ------------------------------------------
+  // The three knobs select between the optimized engine (defaults) and the
+  // PR-4-era baseline (finite differences, fresh factorization every
+  // iteration, cold starts) — the bench's reference configuration.  Either
+  // way results stay bit-identical for any thread count; the knobs trade
+  // work per solve only.
+  /// Closed-form dF/dx via derivatives_and_jacobian() instead of the n+1
+  /// finite-difference RHS evaluations per Newton iteration.
+  bool analytic_jacobian = true;
+  /// Chord-Newton: iterations that may reuse one LU factorization before a
+  /// mandatory refresh (1 = classic Newton).  Stalls and damping collapses
+  /// refresh earlier; see num::NewtonOptions.
+  std::size_t chord_max_age = 8;
+  /// Capacity of the epoch-committed warm-start pool (0 disables it and
+  /// every candidate cold-starts through the anchor ladder).
+  std::size_t warm_pool_capacity = 64;
+
   // --- reporting ------------------------------------------------------------
   /// Converts net stromal fixation (mmol l^-1 s^-1) to leaf-area CO2 uptake
   /// (umol m^-2 s^-1): effective stroma volume per unit leaf area.
@@ -186,6 +205,15 @@ struct SteadyState {
   double residual = 0;   ///< ||dy/dt||_inf at the returned state
   bool converged = false;
   std::size_t newton_iterations = 0;
+  /// Work counters, summed over every Newton/PTC attempt the solve ladder
+  /// made for this partition (the ODE fallback's internal RHS calls are not
+  /// included — used_integration_fallback flags those solves).  These let
+  /// the bench and tests measure work, not just wall time.
+  std::size_t rhs_evaluations = 0;
+  std::size_t jacobian_factorizations = 0;
+  /// True when the accepted root came from a warm start (caller hint or the
+  /// epoch pool) rather than the anchor ladder.
+  bool warm_started = false;
   bool used_integration_fallback = false;
   /// True when the kinetics orbit a limit cycle instead of settling; the
   /// reported state and uptake are then time averages over the cycle (which
@@ -209,14 +237,37 @@ class C3Model {
   void derivatives(std::span<const double> y, std::span<const double> mult,
                    num::Vec& dydt) const;
 
+  /// dy/dt and its closed-form Jacobian jac(r, c) = d(dy_r/dt)/dy_c at state
+  /// y — the rate laws are all rational functions, so the Jacobian is exact
+  /// (guarded against finite differences by a randomized differential test).
+  /// `jac` is resized/zeroed as needed.
+  void derivatives_and_jacobian(std::span<const double> y,
+                                std::span<const double> mult, num::Vec& dydt,
+                                num::Matrix& jac) const;
+
   /// Net CO2 uptake at a state (umol m^-2 s^-1): carboxylation minus the
   /// photorespiratory release at GDC, scaled to leaf area.
   [[nodiscard]] double co2_uptake(std::span<const double> y,
                                   std::span<const double> mult) const;
 
-  /// Steady state for an enzyme partition: damped Newton from the natural
-  /// steady state, with an adaptive-integration fallback when Newton fails.
-  [[nodiscard]] SteadyState steady_state(std::span<const double> mult) const;
+  /// Steady state for an enzyme partition: warm starts (optional caller
+  /// hint, then the epoch-committed pool), the anchor ladder, damped
+  /// Newton/PTC, with an adaptive-integration fallback when everything
+  /// cheaper fails.  Deterministic: the result is a pure function of
+  /// (candidate, committed pool snapshot) for any thread count.
+  [[nodiscard]] SteadyState steady_state(
+      std::span<const double> mult,
+      std::span<const double> start_hint = {}) const;
+
+  /// Folds steady states recorded since the last commit into the warm-start
+  /// pool's snapshot.  Call only from serial sections — the engines do so at
+  /// the same epoch barriers where the archive merges (moo::Problem::
+  /// commit_epoch()); inside a core parallel region this is a deferred
+  /// no-op, so nested engines (PMO2 islands) cannot commit mid-epoch.
+  void commit_warm_starts() const;
+
+  /// The epoch warm-start pool (tests and diagnostics).
+  [[nodiscard]] const WarmStartPool& warm_pool() const { return warm_pool_; }
 
   /// Steady-state CO2 uptake; 0 with converged=false propagated via optional.
   [[nodiscard]] std::optional<double> steady_uptake(std::span<const double> mult) const;
@@ -235,6 +286,26 @@ class C3Model {
                                        std::span<const double> mult,
                                        bool allow_fallback) const;
 
+  /// Fills jac with the closed-form Jacobian only (shared by the public
+  /// derivatives_and_jacobian and the solver's num::JacobianFn).
+  void jacobian_at(std::span<const double> y, std::span<const double> mult,
+                   num::Matrix& jac) const;
+
+  /// Stages a living steady state in the warm-start pool; outside core
+  /// parallel regions it commits immediately (sequential callers keep the
+  /// old evaluate-similar-candidates-back-to-back acceleration).
+  void note_living_solution(std::span<const double> mult,
+                            const num::Vec& state) const;
+
+  /// Start vector from a pool hit: one implicit-function (chord) step from
+  /// the neighbour's root using its lazily-cached LU — the rate laws are
+  /// linear in the multipliers, so this is the exact first-order tangent
+  /// y*(mult) ~ y*(key) - J^-1 F(y*(key), mult).  Falls back to the raw
+  /// neighbour state when the cached Jacobian was singular or the step
+  /// leaves the finite/positive region.
+  [[nodiscard]] num::Vec warm_extrapolated_start(
+      const WarmStartPool::Entry& entry, std::span<const double> mult) const;
+
   void build_anchors();
 
   /// Time-averaged state/uptake over one window of a limit cycle.
@@ -245,6 +316,16 @@ class C3Model {
   [[nodiscard]] SteadyState newton_attempt(std::span<const double> start,
                                            std::span<const double> mult) const;
 
+  /// Short-budget damped Newton for warm starts: a good warm start lands in
+  /// a handful of iterations, and a bad one must fail FAST so the anchor
+  /// ladder still gets its full say — without this, every pool miss would
+  /// cost a whole Newton+PTC budget on top of the ladder.  `warm_lu`
+  /// optionally seeds the chord with a neighbour's cached root
+  /// factorization (cross-solve reuse).
+  [[nodiscard]] SteadyState quick_attempt(
+      std::span<const double> start, std::span<const double> mult,
+      const num::LuFactorization* warm_lu = nullptr) const;
+
   C3Config config_;
   SteadyState natural_;
   /// Steady states of representative partitions (scaled-down / scaled-up),
@@ -252,6 +333,10 @@ class C3Model {
   std::vector<num::Vec> anchors_;
   /// Long integration legs allowed (constructor-time solves only).
   bool thorough_fallback_ = false;
+  /// Epoch-committed (candidate, steady state) pairs; mutable because
+  /// recording accepted solutions is an acceleration, not an observable
+  /// state change — see warm_start.hpp for the determinism argument.
+  mutable WarmStartPool warm_pool_;
 };
 
 }  // namespace rmp::kinetics

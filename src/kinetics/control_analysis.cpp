@@ -21,10 +21,13 @@ std::vector<ControlCoefficient> flux_control_coefficients(
     }
     const double saved = probe[e];
 
+    // Each ±2% probe sits in the base state's immediate Newton basin, so
+    // both solves warm-start from the base steady state computed above
+    // instead of re-climbing the anchor ladder from scratch.
     probe[e] = saved * (1.0 + opts.relative_step);
-    const SteadyState up = model.steady_state(probe);
+    const SteadyState up = model.steady_state(probe, base.state);
     probe[e] = saved * (1.0 - opts.relative_step);
-    const SteadyState down = model.steady_state(probe);
+    const SteadyState down = model.steady_state(probe, base.state);
     probe[e] = saved;
 
     if (!up.converged || !down.converged) {

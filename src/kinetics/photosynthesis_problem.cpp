@@ -39,6 +39,8 @@ double PhotosynthesisProblem::evaluate(std::span<const double> x,
   return 0.0;
 }
 
+void PhotosynthesisProblem::commit_epoch() const { model_->commit_warm_starts(); }
+
 std::size_t PhotosynthesisProblem::suggest_initial(std::span<num::Vec> out,
                                                    num::Rng& rng) const {
   if (out.empty()) return 0;

@@ -41,6 +41,11 @@ class PhotosynthesisProblem final : public moo::Problem {
   /// Seeds the optimizer with the natural partition and jittered copies.
   std::size_t suggest_initial(std::span<num::Vec> out, num::Rng& rng) const override;
 
+  /// Epoch barrier: folds the generation's steady states into the model's
+  /// warm-start pool snapshot (deferred no-op inside parallel regions — see
+  /// moo::Problem::commit_epoch and C3Model::commit_warm_starts).
+  void commit_epoch() const override;
+
   [[nodiscard]] const C3Model& model() const { return *model_; }
 
   /// Converts a stored objective vector back to (CO2 uptake, nitrogen) in

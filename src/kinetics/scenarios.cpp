@@ -31,11 +31,14 @@ Scenario table1_scenario() { return *scenario_by_label("present-high"); }
 
 Scenario figure2_scenario() { return *scenario_by_label("present-low"); }
 
+C3Config scenario_config(const Scenario& s, C3Config base) {
+  base.ci_ppm = s.ci_ppm;
+  base.triose_export_vmax = s.triose_export_vmax;
+  return base;
+}
+
 std::shared_ptr<const C3Model> make_model(const Scenario& s) {
-  C3Config cfg;
-  cfg.ci_ppm = s.ci_ppm;
-  cfg.triose_export_vmax = s.triose_export_vmax;
-  return std::make_shared<const C3Model>(cfg);
+  return std::make_shared<const C3Model>(scenario_config(s));
 }
 
 std::shared_ptr<PhotosynthesisProblem> make_problem(const Scenario& s) {

@@ -48,6 +48,11 @@ inline constexpr double kExportHigh = 3.0;
 /// The condition of Figure 2 (candidates B and A2): Ci = 270, low export.
 [[nodiscard]] Scenario figure2_scenario();
 
+/// A C3Config with the scenario's knobs applied on top of `base` — the ONE
+/// place the Scenario-to-config mapping lives (make_model and the problem
+/// registry both go through it).
+[[nodiscard]] C3Config scenario_config(const Scenario& s, C3Config base = {});
+
 /// Builds a model configured for a scenario (other constants default).
 [[nodiscard]] std::shared_ptr<const C3Model> make_model(const Scenario& s);
 

@@ -136,6 +136,7 @@ void Moead::initialize() {
     pop_.push_back(std::move(ind));
   }
   evaluations_ += core::evaluate_batch(problem_, pop_, opts_.eval_threads);
+  problem_.commit_epoch();
   for (const Individual& ind : pop_) update_ideal(ind.f);
 }
 
@@ -181,6 +182,7 @@ void Moead::step() {
       }
     }
   }
+  problem_.commit_epoch();
 }
 
 void Moead::inject(std::span<const Individual> immigrants) {

@@ -56,6 +56,7 @@ void Nsga2::initialize() {
   }
 
   evaluations_ += core::evaluate_batch(problem_, pop_, opts_.eval_threads);
+  problem_.commit_epoch();
 
   const auto fronts = fast_nondominated_sort(pop_);
   for (const auto& front : fronts) assign_crowding_distance(pop_, front);
@@ -90,6 +91,7 @@ void Nsga2::step() {
   evaluations_ += core::evaluate_batch(
       problem_, std::span<Individual>(merged).subspan(opts_.population_size),
       opts_.eval_threads);
+  problem_.commit_epoch();
 
   select_survivors(merged);
 }

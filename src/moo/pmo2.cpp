@@ -72,8 +72,12 @@ void Pmo2::initialize() {
   core::parallel_for(islands_.size(), opts_.island_threads,
                      [&](std::size_t i) { islands_[i]->initialize(); });
   // Commit tier: archive merge in fixed island-index order — identical to
-  // the serial schedule for any island_threads.
+  // the serial schedule for any island_threads — then the problem's epoch
+  // commit (e.g. the kinetic warm-start pool folds this epoch's steady
+  // states into the snapshot the next epoch's evaluations read; the
+  // islands' own in-region commit_epoch calls were deferred no-ops).
   for (auto& island : islands_) archive_.offer_all(island->population());
+  problem_.commit_epoch();
 }
 
 void Pmo2::step() {
@@ -88,7 +92,12 @@ void Pmo2::step() {
   // Commit tier (epoch barrier, serial): nothing below runs unless every
   // island task returned cleanly, so a throwing island leaves the archive,
   // generation counter and migration bookkeeping exactly as they were.
+  // problem_.commit_epoch() is the same barrier seen from the evaluation
+  // side — the kinetic warm-start pool snapshots here, which is what keeps
+  // the archive bit-identical across island_threads (every island of this
+  // epoch read the PREVIOUS snapshot).
   for (auto& island : islands_) archive_.offer_all(island->population());
+  problem_.commit_epoch();
   ++generation_;
   if (opts_.migration_interval > 0 && generation_ % opts_.migration_interval == 0) {
     migrate();

@@ -121,6 +121,7 @@ void Spea2::initialize() {
     pop_.push_back(std::move(ind));
   }
   evaluations_ += core::evaluate_batch(problem_, pop_, opts_.eval_threads);
+  problem_.commit_epoch();
   std::vector<Individual> all = pop_;
   environmental_selection(all);
 }
@@ -150,6 +151,7 @@ void Spea2::step() {
     }
   }
   evaluations_ += core::evaluate_batch(problem_, offspring, opts_.eval_threads);
+  problem_.commit_epoch();
   pop_ = std::move(offspring);
 
   std::vector<Individual> all = pop_;

@@ -4,16 +4,22 @@
 #include <cmath>
 #include <limits>
 
-#include "numeric/matrix.hpp"
-
 namespace rmp::num {
 
 namespace {
 
-Matrix jacobian(const NonlinearSystem& f, std::span<const double> x, const Vec& fx,
-                double eps) {
+/// Builds dF/dx at x — through the analytic callback when provided, by
+/// forward finite differences otherwise — and counts the work in
+/// `rhs_evaluations` (FD only) / the caller's factorization counter.
+Matrix build_jacobian(const NonlinearSystem& f, const JacobianFn& jac_fn,
+                      std::span<const double> x, const Vec& fx, double eps,
+                      std::size_t& rhs_evaluations) {
   const std::size_t n = x.size();
   Matrix j(n, n);
+  if (jac_fn) {
+    jac_fn(x, j);
+    return j;
+  }
   Vec xp(x.begin(), x.end());
   Vec fp(n);
   for (std::size_t c = 0; c < n; ++c) {
@@ -22,6 +28,7 @@ Matrix jacobian(const NonlinearSystem& f, std::span<const double> x, const Vec& 
     xp[c] = saved + h;
     fp.assign(n, 0.0);
     f(xp, fp);
+    ++rhs_evaluations;
     xp[c] = saved;
     const double inv_h = 1.0 / h;
     for (std::size_t r = 0; r < n; ++r) j(r, c) = (fp[r] - fx[r]) * inv_h;
@@ -42,41 +49,107 @@ NewtonResult solve_newton(const NonlinearSystem& f, std::span<const double> x0,
   res.x.assign(x0.begin(), x0.end());
   floor_state(res.x, opts.state_floor);
   const std::size_t n = res.x.size();
+  const std::size_t max_age = std::max<std::size_t>(opts.chord_max_age, 1);
 
   Vec fx(n), trial(n), ftrial(n);
   f(res.x, fx);
+  ++res.rhs_evaluations;
   res.residual_norm = norm_inf(fx);
 
-  for (res.iterations = 0; res.iterations < opts.max_iterations; ++res.iterations) {
+  // Chord state: the current LU, how many iterations it has served, and
+  // whether the last accepted step flagged it stale.  A failed STALE step is
+  // re-done with a fresh factorization without consuming iteration budget —
+  // it is the same iteration, retried — so chord mode never rejects (or
+  // times out on) a problem classic Newton would solve; the extra work is
+  // bounded by one uncounted retry per counted iteration.
+  std::optional<LuFactorization> lu;
+  // The factorization in use: `lu` once anything was built, else the
+  // caller's warm seed (borrowed, never copied).  The seed counts as stale
+  // (fresh stays false on its passes), so the chord discard bar guards it
+  // and one refresh falls back to a built Jacobian.
+  const LuFactorization* seed =
+      (opts.warm_lu != nullptr && max_age > 1 && opts.warm_lu->size() == n)
+          ? opts.warm_lu
+          : nullptr;
+  std::size_t lu_age = 0;
+  bool refresh = seed == nullptr;
+
+  while (res.iterations < opts.max_iterations) {
     if (res.residual_norm <= opts.tolerance) {
       res.converged = true;
       return res;
     }
-    const Matrix j = jacobian(f, res.x, fx, opts.jacobian_eps);
-    auto lu = LuFactorization::compute(j);
-    if (!lu) return res;  // singular Jacobian: give up, caller falls back
-    const Vec step = lu->solve(fx);
-    if (!all_finite(step)) return res;
+    const bool fresh = refresh || (!lu && seed == nullptr) || lu_age >= max_age;
+    if (fresh) {
+      const Matrix j = build_jacobian(f, opts.jacobian, res.x, fx,
+                                      opts.jacobian_eps, res.rhs_evaluations);
+      ++res.jacobian_factorizations;
+      lu = LuFactorization::compute(j);
+      if (!lu) return res;  // singular Jacobian: give up, caller falls back
+      seed = nullptr;
+      lu_age = 0;
+      refresh = false;
+    }
+    const LuFactorization& active = lu ? *lu : *seed;
+    const Vec step = active.solve(fx);
+    if (!all_finite(step)) {
+      if (!fresh) {
+        refresh = true;  // stale direction blew up — retry with a fresh J
+        continue;
+      }
+      return res;
+    }
 
-    // Backtracking: accept the largest damping that reduces ||F||.
-    bool accepted = false;
+    // Backtracking: find the largest damping that reduces ||F||.
+    bool found = false;
+    double found_damping = 1.0;
+    double found_norm = 0.0;
+    const double previous_norm = res.residual_norm;
     for (double damping = 1.0; damping >= opts.min_damping; damping *= 0.5) {
       trial = res.x;
       axpy(trial, -damping, step);
       floor_state(trial, opts.state_floor);
       ftrial.assign(n, 0.0);
       f(trial, ftrial);
+      ++res.rhs_evaluations;
       if (!all_finite(ftrial)) continue;
       const double norm = norm_inf(ftrial);
       if (norm < res.residual_norm) {
-        res.x = trial;
-        fx = ftrial;
-        res.residual_norm = norm;
-        accepted = true;
+        found = true;
+        found_damping = damping;
+        found_norm = norm;
         break;
       }
     }
-    if (!accepted) return res;  // stuck in a non-descending region
+    if (!found) {
+      if (!fresh) {
+        refresh = true;  // non-descending chord direction: free fresh retry
+        continue;
+      }
+      return res;  // stuck in a non-descending region even with a fresh J
+    }
+    // A STALE direction must clear a higher bar than "any descent": weak
+    // chord steps are DISCARDED before they move x — the iterate sequence
+    // then never leaves the region classic Newton would traverse, which is
+    // what keeps chord mode's convergence set equal to classic Newton's
+    // (a weakly-descending chord trajectory can wander into basins where
+    // even a fresh Jacobian stalls).
+    if (!fresh && (found_damping < opts.chord_refresh_damping ||
+                   found_norm > opts.chord_stall_ratio * previous_norm)) {
+      refresh = true;
+      continue;
+    }
+    res.x = trial;
+    fx = ftrial;
+    res.residual_norm = found_norm;
+    ++res.iterations;
+    ++lu_age;
+    // Fresh steps keep classic acceptance; they only schedule a refresh
+    // when progress was marginal (pointless to chord off a bad linearization).
+    if (found_damping < opts.chord_refresh_damping ||
+        found_norm > opts.chord_stall_ratio * previous_norm) {
+      refresh = true;
+    }
   }
   res.converged = res.residual_norm <= opts.tolerance;
   return res;
@@ -89,9 +162,12 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
   res.x.assign(x0.begin(), x0.end());
   floor_state(res.x, opts.state_floor);
   const std::size_t n = res.x.size();
+  const std::size_t max_age = std::max<std::size_t>(opts.chord_max_age, 1);
+  const double h_band = std::max(opts.chord_h_band, 1.0);
 
   Vec fx(n), trial(n), ftrial(n);
   f(res.x, fx);
+  ++res.rhs_evaluations;
   res.residual_norm = norm_inf(fx);
   const double initial_norm = std::max(res.residual_norm, 1e-300);
   double h = opts.initial_timestep;
@@ -104,17 +180,36 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
   double best_norm = res.residual_norm;
   double current_norm = res.residual_norm;
 
-  for (res.iterations = 0; res.iterations < opts.max_iterations; ++res.iterations) {
+  // Chord state: W = I/h_factored - J stays factored across steps while the
+  // residual keeps falling and the SER timestep stays inside the band.  As
+  // in solve_newton, a failed STALE step is re-done fresh without consuming
+  // iteration budget.
+  std::optional<LuFactorization> lu;
+  double h_factored = h;
+  std::size_t lu_age = 0;
+  bool refresh = true;
+
+  while (res.iterations < opts.max_iterations) {
     if (best_norm <= opts.tolerance) break;
 
-    // W = I/h - J; the step solves W dx = F (implicit Euler for x' = F).
-    Matrix w = jacobian(f, res.x, fx, opts.jacobian_eps);
-    const double inv_h = 1.0 / h;
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t c = 0; c < n; ++c) w(r, c) = -w(r, c);
-      w(r, r) += inv_h;
+    const bool in_band =
+        h >= h_factored / h_band && h <= h_factored * h_band;
+    const bool fresh = refresh || !lu || lu_age >= max_age || !in_band;
+    if (fresh) {
+      // W = I/h - J; the step solves W dx = F (implicit Euler for x' = F).
+      Matrix w = build_jacobian(f, opts.jacobian, res.x, fx, opts.jacobian_eps,
+                                res.rhs_evaluations);
+      const double inv_h = 1.0 / h;
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) w(r, c) = -w(r, c);
+        w(r, r) += inv_h;
+      }
+      ++res.jacobian_factorizations;
+      lu = LuFactorization::compute(w);
+      h_factored = h;
+      lu_age = 0;
+      refresh = false;
     }
-    const auto lu = LuFactorization::compute(w);
     bool ok = lu.has_value();
     if (ok) {
       const Vec step = lu->solve(fx);
@@ -125,18 +220,32 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
         floor_state(trial, opts.state_floor);
         ftrial.assign(n, 0.0);
         f(trial, ftrial);
+        ++res.rhs_evaluations;
         ok = all_finite(ftrial);
       }
     }
     if (!ok) {
+      if (!fresh) {
+        refresh = true;  // stale W produced garbage — free rebuild at the same h
+        continue;
+      }
+      lu.reset();
       h *= 0.25;
+      ++res.iterations;  // fresh-step failures consume budget, as classic PTC
       if (h < 1e-14) break;
       continue;
     }
 
+    const double previous_norm = current_norm;
     res.x = trial;
     fx = ftrial;
     current_norm = norm_inf(fx);
+    ++res.iterations;
+    ++lu_age;
+    // A rising residual under a stale W is indistinguishable from a genuine
+    // kinetic orbit; resolving it with a fresh factorization keeps the
+    // non-monotone acceptance rule honest.
+    if (!fresh && current_norm > previous_norm) refresh = true;
     if (current_norm < best_norm) {
       best_norm = current_norm;
       best_x = res.x;

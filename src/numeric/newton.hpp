@@ -5,17 +5,35 @@
 // two orders of magnitude cheaper per candidate evaluation inside the
 // optimizer.  Backtracking line search on ||F|| with an optional lower bound
 // on the state (concentrations must stay positive).
+//
+// Two compounding accelerations, both off by default so existing callers see
+// the classic method unchanged:
+//   * analytic Jacobians — NewtonOptions/PtcOptions::jacobian supplies
+//     dF/dx in closed form, eliminating the n finite-difference RHS
+//     evaluations every Jacobian build otherwise costs;
+//   * chord-Newton factorization reuse — chord_max_age > 1 keeps the LU
+//     factorization across iterations and refreshes it only when it goes
+//     stale (backtracking damping collapses, the residual reduction stalls,
+//     or the age bound is hit), amortizing both Jacobian assembly and the
+//     O(n^3) factorization over several steps.
+// NewtonResult counts RHS evaluations and factorizations so callers can
+// measure the work saved, not just the wall time.
 #pragma once
 
 #include <functional>
 #include <span>
 
+#include "numeric/matrix.hpp"
 #include "numeric/vec.hpp"
 
 namespace rmp::num {
 
 /// System callback: fills out = F(x); out pre-sized to x.size().
 using NonlinearSystem = std::function<void(std::span<const double> x, Vec& out)>;
+
+/// Analytic Jacobian callback: fills jac(r, c) = dF_r/dx_c at x; jac arrives
+/// pre-sized to n x n and zeroed.
+using JacobianFn = std::function<void(std::span<const double> x, Matrix& jac)>;
 
 struct NewtonOptions {
   std::size_t max_iterations = 60;
@@ -24,6 +42,29 @@ struct NewtonOptions {
   double jacobian_eps = 1e-7;
   /// Elements of x are clamped to be >= state_floor after each update.
   double state_floor = -1e300;
+  /// Closed-form Jacobian; null = forward finite differences (n extra RHS
+  /// evaluations per Jacobian build).
+  JacobianFn jacobian;
+  /// Chord-Newton: how many consecutive iterations may ride one LU
+  /// factorization.  0 and 1 both mean classic Newton (fresh factorization
+  /// every iteration).  A reused (stale) factorization is refreshed early
+  /// when the step stalls; a step that fails outright under a stale
+  /// factorization is retried with a fresh one before the solve gives up,
+  /// so chord reuse never rejects a problem classic Newton would solve.
+  std::size_t chord_max_age = 1;
+  /// Refresh a stale factorization when the accepted step left
+  /// ||F_new|| > chord_stall_ratio * ||F_old|| (residual reduction stalled).
+  double chord_stall_ratio = 0.5;
+  /// Refresh a stale factorization when backtracking had to damp below this
+  /// factor to find descent (the chord direction is no longer trustworthy).
+  double chord_refresh_damping = 0.25;
+  /// Optional factorization to seed the chord with (e.g. a warm-start
+  /// neighbour's cached root Jacobian), extending chord reuse ACROSS solves:
+  /// the first iterations then need no Jacobian build at all.  Treated as
+  /// stale — the chord acceptance bar applies, and the solver falls back to
+  /// a fresh factorization the moment it underperforms.  Only consulted
+  /// when chord_max_age > 1; not owned.
+  const LuFactorization* warm_lu = nullptr;
 };
 
 struct NewtonResult {
@@ -31,6 +72,12 @@ struct NewtonResult {
   double residual_norm = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  /// Calls into the RHS callback, including finite-difference Jacobian
+  /// builds and backtracking trials — the solve's dominant work unit.
+  std::size_t rhs_evaluations = 0;
+  /// Jacobian assemblies + LU factorizations performed (chord reuse makes
+  /// this less than `iterations`).
+  std::size_t jacobian_factorizations = 0;
 };
 
 [[nodiscard]] NewtonResult solve_newton(const NonlinearSystem& f,
@@ -44,6 +91,18 @@ struct PtcOptions {
   double max_timestep = 1e9;
   double jacobian_eps = 1e-7;
   double state_floor = -1e300;
+  /// Closed-form Jacobian; null = forward finite differences.
+  JacobianFn jacobian;
+  /// Reuse bound for the factored W = I/h - J: while the residual keeps
+  /// falling and the SER timestep stays inside chord_h_band of the factored
+  /// h, up to chord_max_age consecutive steps ride one factorization (the
+  /// step then uses the factored h — a slightly conservative pseudo-time
+  /// increment, never a wrong one).  0 and 1 both mean rebuild every
+  /// iteration.
+  std::size_t chord_max_age = 1;
+  /// Band (as a ratio >= 1) the SER timestep may drift from the factored h
+  /// before W must be rebuilt.
+  double chord_h_band = 4.0;
 };
 
 /// Pseudo-transient continuation (switched evolution relaxation): damped

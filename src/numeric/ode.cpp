@@ -119,6 +119,7 @@ OdeResult integrate_adaptive(const EmbeddedRk& rk, const OdeRhs& f, double t0,
   const double exponent = 1.0 / order;
 
   while (res.t < t_end && res.steps < opts.max_steps) {
+    res.last_step = h;  // the controller's h, before end-of-interval truncation
     h = std::min(h, t_end - res.t);
     rk.trial(f, res.t, res.y, h, y_new, err, k, res);
     const double en = error_norm(err, res.y, y_new, opts.abs_tol, opts.rel_tol);
@@ -247,10 +248,24 @@ OdeResult integrate_rosenbrock(const OdeRhs& f_user, double t0,
   double h = std::clamp(opts.initial_step, opts.min_step, opts.max_step);
 
   while (res.t < t_end && res.steps < opts.max_steps) {
+    res.last_step = h;  // the controller's h, before end-of-interval truncation
     h = std::min(h, t_end - res.t);
 
-    const Matrix j = numeric_jacobian(f, res.t, res.y);
-    res.rhs_evals += n + 1;
+    Matrix j;
+    if (opts.jacobian) {
+      // User Jacobian covers the df/dy block; the appended time state
+      // contributes a zero row/column (autonomous f; W-method tolerant).
+      j = Matrix(n, n);
+      Matrix ju(n_user, n_user);
+      opts.jacobian(res.y[n_user], std::span<const double>(res.y).first(n_user),
+                    ju);
+      for (std::size_t r = 0; r < n_user; ++r) {
+        for (std::size_t c = 0; c < n_user; ++c) j(r, c) = ju(r, c);
+      }
+    } else {
+      j = numeric_jacobian(f, res.t, res.y);
+      res.rhs_evals += n + 1;
+    }
 
     const bool ok = ros2_step(f, res.t, res.y, h, j, y_full, res) &&
                     ros2_step(f, res.t, res.y, 0.5 * h, j, y_half, res) &&
@@ -310,6 +325,7 @@ OdeResult integrate_implicit_euler(const OdeRhs& f, double t0, std::span<const d
   double h = std::clamp(opts.initial_step, opts.min_step, opts.max_step);
 
   while (res.t < t_end && res.steps < opts.max_steps) {
+    res.last_step = h;  // the controller's h, before end-of-interval truncation
     h = std::min(h, t_end - res.t);
     ynext = res.y;  // predictor: previous state
     bool converged = false;
@@ -329,8 +345,14 @@ OdeResult integrate_implicit_euler(const OdeRhs& f, double t0, std::span<const d
         converged = true;
         break;
       }
-      Matrix j = numeric_jacobian(f, res.t + h, ynext);
-      res.rhs_evals += n + 1;
+      Matrix j;
+      if (opts.jacobian) {
+        j = Matrix(n, n);
+        opts.jacobian(res.t + h, ynext, j);
+      } else {
+        j = numeric_jacobian(f, res.t + h, ynext);
+        res.rhs_evals += n + 1;
+      }
       Matrix w(n, n);
       for (std::size_t r = 0; r < n; ++r)
         for (std::size_t c = 0; c < n; ++c)
@@ -410,14 +432,17 @@ OdeResult integrate_to_steady_state(const OdeRhs& f, std::span<const double> y0,
   Vec dydt(res.y.size());
 
   double t = 0.0;
+  OdeOptions leg_opts = opts.ode;
   while (t < opts.max_time) {
     const double t_next = std::min(t + opts.check_interval, opts.max_time);
-    OdeResult leg = integrate(f, t, res.y, t_next, opts.ode);
+    OdeResult leg = integrate(f, t, res.y, t_next, leg_opts);
     res.steps += leg.steps;
     res.rejected += leg.rejected;
     res.rhs_evals += leg.rhs_evals;
     res.y = std::move(leg.y);
     res.t = leg.t;
+    res.last_step = leg.last_step;
+    if (leg.last_step > 0.0) leg_opts.initial_step = leg.last_step;
     if (!leg.success) {
       res.success = false;
       return res;

@@ -24,6 +24,16 @@ namespace rmp::num {
 /// Right-hand side f(t, y) -> dydt; must not resize dydt (pre-sized to y.size()).
 using OdeRhs = std::function<void(double t, std::span<const double> y, Vec& dydt)>;
 
+/// Analytic Jacobian df/dy at (t, y); jac arrives pre-sized n x n and
+/// zeroed.  Consumed by the linearly implicit methods (Rosenbrock-W,
+/// implicit Euler), replacing the n+1 RHS evaluations a forward-difference
+/// build costs per step.  The df/dt part is treated as zero — exact for
+/// autonomous systems (the kinetic models), and safe for forced ones
+/// because both consumers are W-methods: an inexact Jacobian costs step
+/// size, never correctness.
+using OdeJacobian =
+    std::function<void(double t, std::span<const double> y, Matrix& jac)>;
+
 enum class OdeMethod {
   kRk4,             ///< classic fixed-step 4th order
   kCashKarp45,      ///< adaptive embedded 4(5)
@@ -43,6 +53,9 @@ struct OdeOptions {
   /// Optional floor applied to every state after each accepted step
   /// (concentrations cannot go negative; kinetic models rely on this).
   double state_floor = -1e300;
+  /// Closed-form Jacobian for the implicit methods; null = finite
+  /// differences (see OdeJacobian).
+  OdeJacobian jacobian;
 };
 
 struct OdeResult {
@@ -52,6 +65,11 @@ struct OdeResult {
   std::size_t rejected = 0; ///< rejected trial steps (adaptive methods)
   std::size_t rhs_evals = 0;
   bool success = false;     ///< reached t_end (or steady state when requested)
+  /// Step size the adaptive methods would take next — feed it back as
+  /// initial_step when integrating onward from res.y (windowed averaging,
+  /// leg-by-leg fallbacks) so every leg after the first skips the ramp-up
+  /// from a cold initial_step.  0 for the fixed-step method.
+  double last_step = 0.0;
 };
 
 /// Integrate y' = f(t, y) from (t0, y0) to t_end.

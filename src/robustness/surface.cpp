@@ -23,6 +23,10 @@ std::vector<SurfacePoint> robustness_surface(const pareto::Front& front,
     p.gamma = global_yield(front[idx].x, property, cfg.yield).gamma;
     out[k] = std::move(p);
   });
+  // Serial epoch barrier after the screen (the per-pick hooks inside the
+  // region were deferred no-ops): later stages warm-start from the surface's
+  // solved roots.
+  if (cfg.yield.epoch_commit) cfg.yield.epoch_commit();
   return out;
 }
 

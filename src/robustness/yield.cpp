@@ -21,11 +21,16 @@ YieldResult run_ensemble(std::span<const double> x, const PropertyFn& f,
   r.nominal_value = f(x);
   r.absolute_threshold = cfg.epsilon_fraction * std::fabs(r.nominal_value);
   r.total_trials = ensemble.size();
+  // Epoch barrier before the batch: the nominal solve (and anything staged
+  // by earlier stages) becomes warm-start snapshot for every trial below.
+  if (cfg.epoch_commit) cfg.epoch_commit();
   // Score the trials in parallel (PropertyFn is concurrency-safe by
   // contract), then reduce serially in index order for bit-exact results.
   std::vector<double> values(ensemble.size());
   core::parallel_for(ensemble.size(), cfg.threads,
                      [&](std::size_t i) { values[i] = f(ensemble[i]); });
+  // ... and after it, so the next ensemble starts from this one's roots.
+  if (cfg.epoch_commit) cfg.epoch_commit();
   for (const double v : values) {
     const double dev = std::fabs(r.nominal_value - v);
     r.max_deviation = std::max(r.max_deviation, dev);

@@ -34,6 +34,14 @@ struct YieldConfig {
   /// seeded RNG and reduced in index order, so gamma is identical for any
   /// thread count.
   std::size_t threads = 0;
+  /// Epoch barrier hook, invoked from the serial sections around each
+  /// ensemble's parallel scoring pass.  Wire it to the evaluated problem's
+  /// commit_epoch() (api::run and RobustDesigner do) so the kinetic
+  /// warm-start pool can fold the nominal solve — and each finished
+  /// ensemble — into the snapshot the next batch of trials warm-starts
+  /// from.  The hook must follow the moo::Problem::commit_epoch contract
+  /// (cheap, result-neutral, deferred inside parallel regions); null = off.
+  std::function<void()> epoch_commit;
 };
 
 struct YieldResult {

@@ -86,6 +86,144 @@ TEST(NewtonTest, AlreadyAtRoot) {
   EXPECT_EQ(r.iterations, 0u);
 }
 
+TEST(NewtonTest, CountsRhsEvaluationsAndFactorizations) {
+  // Classic (FD, no chord) bookkeeping: every iteration builds one Jacobian
+  // (n FD probes) and factors it once; every build and backtrack trial plus
+  // the initial residual is an RHS evaluation.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] * x[0] + x[1] * x[1] - 5.0;
+    out[1] = x[0] * x[1] - 2.0;
+  };
+  const NewtonResult r = solve_newton(f, Vec{2.5, 0.5});
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.jacobian_factorizations, r.iterations);
+  // >= 1 (initial) + per iteration: 2 FD probes + >= 1 trial.
+  EXPECT_GE(r.rhs_evaluations, 1 + 3 * r.iterations);
+}
+
+TEST(NewtonTest, AnalyticJacobianSolvesWithoutFdProbes) {
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] * x[0] + x[1] * x[1] - 5.0;
+    out[1] = x[0] * x[1] - 2.0;
+  };
+  NewtonOptions opts;
+  opts.jacobian = [](std::span<const double> x, Matrix& j) {
+    j(0, 0) = 2.0 * x[0];
+    j(0, 1) = 2.0 * x[1];
+    j(1, 0) = x[1];
+    j(1, 1) = x[0];
+  };
+  const NewtonResult a = solve_newton(f, Vec{2.5, 0.5}, opts);
+  ASSERT_TRUE(a.converged);
+  EXPECT_NEAR(a.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(a.x[1], 1.0, 1e-7);
+  // No finite-difference probes: one RHS per backtrack trial plus the
+  // initial residual — strictly fewer than the FD path's n-per-build.
+  const NewtonResult fd = solve_newton(f, Vec{2.5, 0.5});
+  EXPECT_LT(a.rhs_evaluations, fd.rhs_evaluations);
+  EXPECT_LE(a.rhs_evaluations, 1 + 2 * a.iterations);
+}
+
+TEST(NewtonTest, ChordReuseAmortizesFactorizations) {
+  // Mildly nonlinear system: stale factorizations keep descending, so chord
+  // mode must converge to the same root with fewer factorizations than
+  // iterations.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] + 0.1 * x[0] * x[0] - 1.0;
+    out[1] = x[1] + 0.1 * x[0] * x[1] - 2.0;
+  };
+  NewtonOptions classic;
+  classic.tolerance = 1e-12;
+  NewtonOptions chord = classic;
+  chord.chord_max_age = 16;
+  const NewtonResult a = solve_newton(f, Vec{3.0, 3.0}, classic);
+  const NewtonResult b = solve_newton(f, Vec{3.0, 3.0}, chord);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_NEAR(a.x[0], b.x[0], 1e-9);
+  EXPECT_NEAR(a.x[1], b.x[1], 1e-9);
+  EXPECT_EQ(a.jacobian_factorizations, a.iterations);
+  EXPECT_LT(b.jacobian_factorizations, b.iterations);
+}
+
+TEST(NewtonTest, ChordRefreshesOnStalledResidual) {
+  // x^3 - 1 from x = 3: the Jacobian changes by 9x along the path, so a
+  // never-refreshed chord direction would crawl.  The stall/damping
+  // heuristics must trigger intermediate refreshes: more than one
+  // factorization, yet fewer than one per iteration, and the exact root.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] * x[0] * x[0] - 1.0;
+  };
+  NewtonOptions opts;
+  opts.chord_max_age = 1000;  // age alone never forces a refresh
+  opts.tolerance = 1e-12;
+  const NewtonResult r = solve_newton(f, Vec{3.0}, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_GT(r.jacobian_factorizations, 1u);
+  EXPECT_LT(r.jacobian_factorizations, r.iterations);
+}
+
+TEST(NewtonTest, SingularJacobianGivesUpCleanly) {
+  // J = [[2 x0, 0], [2 x0, 0]] is singular everywhere: the solver must
+  // report failure without iterating or producing non-finite state.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = x[0] * x[0] - 1.0;
+    out[1] = x[0] * x[0] - 1.0;
+  };
+  const NewtonResult r = solve_newton(f, Vec{3.0, 3.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(all_finite(r.x));
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_EQ(r.jacobian_factorizations, 1u);
+}
+
+TEST(NewtonTest, StateFloorInteractsWithBacktrackingUnderChord) {
+  // The log system needs x > 0 to evaluate; a full step from 0.1 undershoots
+  // and must be floored/backtracked — also under chord reuse, where a stale
+  // direction may point below the floor again.
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = std::log(x[0] / 2.0);
+  };
+  NewtonOptions opts;
+  opts.state_floor = 1e-6;
+  opts.chord_max_age = 8;
+  const NewtonResult r = solve_newton(f, Vec{0.1}, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(PtcTest, StiffTwoDimensionalSystemReachesKnownRoot) {
+  // x0' = 1000 (cos(x1) - x0), x1' = x0 - x1: eigenvalue spread ~1000, and
+  // the equilibrium is the Dottie fixed point x0 = x1 = cos(x) = 0.739085...
+  const double dottie = 0.7390851332151607;
+  const NonlinearSystem f = [](std::span<const double> x, Vec& out) {
+    out[0] = 1000.0 * (std::cos(x[1]) - x[0]);
+    out[1] = x[0] - x[1];
+  };
+  PtcOptions opts;
+  opts.tolerance = 1e-10;
+  const NewtonResult fd = solve_pseudo_transient(f, Vec{0.0, 0.0}, opts);
+  ASSERT_TRUE(fd.converged);
+  EXPECT_NEAR(fd.x[0], dottie, 1e-7);
+  EXPECT_NEAR(fd.x[1], dottie, 1e-7);
+
+  // Same root through the analytic-Jacobian + chord path, cheaper in RHS.
+  PtcOptions fast = opts;
+  fast.jacobian = [](std::span<const double> x, Matrix& j) {
+    j(0, 0) = -1000.0;
+    j(0, 1) = -1000.0 * std::sin(x[1]);
+    j(1, 0) = 1.0;
+    j(1, 1) = -1.0;
+  };
+  fast.chord_max_age = 8;
+  const NewtonResult an = solve_pseudo_transient(f, Vec{0.0, 0.0}, fast);
+  ASSERT_TRUE(an.converged);
+  EXPECT_NEAR(an.x[0], dottie, 1e-7);
+  EXPECT_NEAR(an.x[1], dottie, 1e-7);
+  EXPECT_LT(an.rhs_evaluations, fd.rhs_evaluations);
+}
+
 // Parameterized: roots of x^3 - c for several c, from a far start.
 class NewtonCubeRoot : public ::testing::TestWithParam<double> {};
 
