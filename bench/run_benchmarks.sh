@@ -37,6 +37,11 @@ if [[ "${SMOKE}" == "1" ]]; then
   export RMP_KINETICS_BATCH="${RMP_KINETICS_BATCH:-16}"
   export RMP_KINETICS_PMO2_GENERATIONS="${RMP_KINETICS_PMO2_GENERATIONS:-3}"
   export RMP_KINETICS_PMO2_POPULATION="${RMP_KINETICS_PMO2_POPULATION:-8}"
+  export RMP_EVALCACHE_GENERATIONS="${RMP_EVALCACHE_GENERATIONS:-4}"
+  export RMP_EVALCACHE_PHASE1_GENERATIONS="${RMP_EVALCACHE_PHASE1_GENERATIONS:-2}"
+  export RMP_EVALCACHE_TRIALS="${RMP_EVALCACHE_TRIALS:-60}"
+  export RMP_EVALCACHE_CENTERS="${RMP_EVALCACHE_CENTERS:-3}"
+  export RMP_EVALCACHE_MIN_REDUCTION="${RMP_EVALCACHE_MIN_REDUCTION:-0}"
 else
   # Full scale enforces the acceptance bars: >= 5x batch-vs-naive archive
   # merges; for the kinetic engine >= 3x RHS-work reduction per solve
@@ -49,6 +54,13 @@ else
   export RMP_ARCHIVE_MIN_SPEEDUP="${RMP_ARCHIVE_MIN_SPEEDUP:-5}"
   export RMP_KINETICS_MIN_SPEEDUP="${RMP_KINETICS_MIN_SPEEDUP:-1.5}"
   export RMP_KINETICS_MIN_RHS_REDUCTION="${RMP_KINETICS_MIN_RHS_REDUCTION:-3}"
+  # eval_cache enforces a >= 1.5x full-kinetic-solve reduction on the
+  # stress-study workload (measured 1.74x); its reduction counters are
+  # deterministic (seeded, epoch-committed), so the gate is exact, not a
+  # wall-clock measurement.  Smoke scale skips the gate (workload too small
+  # for a representative skip rate) but still enforces the fingerprint
+  # identities.
+  export RMP_EVALCACHE_MIN_REDUCTION="${RMP_EVALCACHE_MIN_REDUCTION:-1.5}"
 fi
 
 # 1. The perf-trajectory anchors.  Non-zero exit = a contract broke:
@@ -57,14 +69,18 @@ fi
 #    reference (same fingerprints, and the speedup bar at full scale),
 #    kinetics_scaling checks the steady-state engine against its FD/
 #    cold-start baseline (thread-invariant fingerprints for every solver
-#    configuration, and the speedup/work bars at full scale).
+#    configuration, and the speedup/work bars at full scale),
+#    eval_cache checks cached-vs-uncached archive fingerprints at
+#    island_threads {1,2,8} plus the prescreen's full-solve reduction on the
+#    stress-study workload (>= 1.5x at full scale).
 "${BUILD_DIR}/bench/pmo2_scaling" "${OUT_DIR}/BENCH_pmo2.json"
 "${BUILD_DIR}/bench/archive_scaling" "${OUT_DIR}/BENCH_archive.json"
 "${BUILD_DIR}/bench/kinetics_scaling" "${OUT_DIR}/BENCH_kinetics.json"
+"${BUILD_DIR}/bench/eval_cache" "${OUT_DIR}/BENCH_evalcache.json"
 
 # Validate the artifacts when a JSON parser is on the PATH.
 if command -v python3 >/dev/null 2>&1; then
-  for artifact in BENCH_pmo2 BENCH_archive BENCH_kinetics; do
+  for artifact in BENCH_pmo2 BENCH_archive BENCH_kinetics BENCH_evalcache; do
     python3 -m json.tool "${OUT_DIR}/${artifact}.json" >/dev/null \
       && echo "${artifact}.json: valid JSON"
   done
@@ -93,3 +109,6 @@ cat "${OUT_DIR}/BENCH_archive.json"
 echo
 echo "== ${OUT_DIR}/BENCH_kinetics.json =="
 cat "${OUT_DIR}/BENCH_kinetics.json"
+echo
+echo "== ${OUT_DIR}/BENCH_evalcache.json =="
+cat "${OUT_DIR}/BENCH_evalcache.json"

@@ -18,6 +18,13 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+# Cache differential gate, surfaced on its own (it also ran inside the full
+# suite above): cached / prescreened / plain runs must produce identical
+# archive fingerprints, mined candidates and robustness verdicts at
+# island_threads {1, 2, 8}.  A regression here means the evaluation cache
+# changed results — the one thing it must never do.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -R "CacheDifferential"
+
 # rmp_run smoke: the spec-driven front door must list its registries, execute
 # a ZDT1+pmo2 spec, and emit a result artifact that parses as JSON and carries
 # an archive fingerprint (the cross-machine reproducibility identity).
@@ -59,7 +66,8 @@ SAN_TESTS=(
   numeric_simplex_test numeric_sparse_test numeric_stats_test
   numeric_vec_test
   kinetics_c3model_test kinetics_control_analysis_test kinetics_enzymes_test
-  kinetics_problem_test kinetics_warm_start_test
+  kinetics_problem_test kinetics_prescreen_test kinetics_warm_start_test
+  moo_evalcache_test integration_cache_differential_test
   robustness_robustness_test)
 
 cmake -B "${SAN_BUILD_DIR}" -S . \

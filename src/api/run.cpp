@@ -8,6 +8,7 @@
 
 #include "core/report.hpp"
 #include "moo/archive.hpp"
+#include "moo/cached_problem.hpp"
 #include "pareto/mining.hpp"
 #include "robustness/yield.hpp"
 
@@ -56,6 +57,15 @@ RunResult run(const RunSpec& spec) {
   result.spec = spec;
 
   std::shared_ptr<moo::Problem> problem = ProblemRegistry::global().make(spec.problem);
+  if (spec.prescreen && !problem->set_prescreen(true)) {
+    throw SpecError("spec \"prescreen\": problem \"" + spec.problem +
+                    "\" has no tangent-model prescreen");
+  }
+  if (spec.cache > 0) {
+    // Decorate AFTER the prescreen switch: the cache forwards set_prescreen
+    // but the error message above names the inner problem directly.
+    problem = std::make_shared<moo::CachedProblem>(problem, spec.cache);
+  }
   result.problem_name = problem->name();
   const std::unique_ptr<moo::Optimizer> optimizer = OptimizerRegistry::global().make(
       spec.optimizer, *problem, OptimizerContext{spec.seed, spec.threads});
@@ -82,7 +92,10 @@ RunResult run(const RunSpec& spec) {
   result.evaluations = optimizer->evaluations();
   result.fingerprint = archive.fingerprint();
   result.front = pareto::Front::from_population(archive.solutions());
-  if (result.front.empty()) return result;
+  if (result.front.empty()) {
+    result.eval_stats = problem->eval_stats();
+    return result;
+  }
 
   const bool robust = spec.robustness.enabled && spec.robustness.trials > 0;
   const robustness::PropertyFn property =
@@ -113,7 +126,12 @@ RunResult run(const RunSpec& spec) {
   if (robust) {
     const auto robustness_start = clock::now();
     for (core::MinedCandidate& c : result.mined) {
-      c.yield = robustness::global_yield(c.x, property, ycfg);
+      // The mined candidate's archived objective 0 IS the property's nominal
+      // value (bitwise — the archive stores what evaluate() reported), so
+      // hand it through instead of re-evaluating the nominal point.
+      robustness::YieldConfig candidate_cfg = ycfg;
+      candidate_cfg.nominal_value = c.objectives[0];
+      c.yield = robustness::global_yield(c.x, property, candidate_cfg);
     }
     // 4. Surface screening + the max-yield selection (Figure 3 / Table 2).
     if (spec.robustness.surface_samples > 0) {
@@ -147,6 +165,7 @@ RunResult run(const RunSpec& spec) {
     }
     result.robustness_seconds = seconds_since(robustness_start);
   }
+  result.eval_stats = problem->eval_stats();
   return result;
 }
 
@@ -162,6 +181,13 @@ core::Json result_to_json(const RunResult& result) {
       .set("problem", result.problem_name)
       .set("optimizer", result.optimizer_name)
       .set("evaluations", result.evaluations)
+      .set("eval_stats",
+           Json::object()
+               .set("evaluations", result.eval_stats.evaluations)
+               .set("cache_hits", result.eval_stats.cache_hits)
+               .set("prescreen_skips", result.eval_stats.prescreen_skips)
+               .set("pool_hits", result.eval_stats.pool_hits)
+               .set("full_evaluations", result.eval_stats.full_evaluations))
       .set("fingerprint", Json::hex(result.fingerprint))
       .set("front", core::to_json(result.front, result.spec.include_decision_vectors))
       .set("mined", std::move(mined))

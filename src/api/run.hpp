@@ -20,6 +20,7 @@
 #include "api/spec.hpp"
 #include "core/designer.hpp"
 #include "core/json.hpp"
+#include "moo/problem.hpp"
 #include "pareto/front.hpp"
 #include "robustness/surface.hpp"
 
@@ -35,6 +36,11 @@ struct RunResult {
   /// machines.
   std::uint64_t fingerprint = 0;
   std::size_t evaluations = 0;
+  /// Evaluation accounting over the WHOLE run (optimize + mining +
+  /// robustness): cache hits, prescreen skips, warm-pool exact hits and the
+  /// full evaluations that remained.  All totals are thread-count invariant;
+  /// all-zero when the problem is uninstrumented and no cache is configured.
+  moo::EvalStats eval_stats;
   std::vector<core::MinedCandidate> mined;
   std::vector<robustness::SurfacePoint> surface;
   double optimize_seconds = 0.0;

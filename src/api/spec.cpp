@@ -101,7 +101,8 @@ RunSpec spec_from_json(const Json& doc) {
   if (!doc.is_object()) throw SpecError("a run spec must be a JSON object");
   require_keys(doc,
                {"problem", "optimizer", "generations", "seed", "threads",
-                "include_decision_vectors", "mining", "robustness"},
+                "include_decision_vectors", "cache", "prescreen", "mining",
+                "robustness"},
                "the run spec");
   RunSpec spec;
   const Json* problem = doc.find("problem");
@@ -124,6 +125,12 @@ RunSpec spec_from_json(const Json& doc) {
   if (const Json* v = doc.find("include_decision_vectors")) {
     spec.include_decision_vectors =
         field("include_decision_vectors", [&] { return v->as_bool(); });
+  }
+  if (const Json* v = doc.find("cache")) {
+    spec.cache = field("cache", [&] { return v->as_size(); });
+  }
+  if (const Json* v = doc.find("prescreen")) {
+    spec.prescreen = field("prescreen", [&] { return v->as_bool(); });
   }
   if (const Json* v = doc.find("mining")) spec.mining = mining_from_json(*v);
   if (const Json* v = doc.find("robustness")) {
@@ -149,6 +156,8 @@ Json spec_to_json(const RunSpec& spec) {
       .set("seed", spec.seed)
       .set("threads", spec.threads)
       .set("include_decision_vectors", spec.include_decision_vectors)
+      .set("cache", spec.cache)
+      .set("prescreen", spec.prescreen)
       .set("mining", Json::object()
                          .set("enabled", spec.mining.enabled)
                          .set("metric", to_string(spec.mining.metric)))

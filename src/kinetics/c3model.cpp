@@ -7,6 +7,7 @@
 
 #include "core/parallel.hpp"
 
+#include "moo/evalcache.hpp"
 #include "numeric/newton.hpp"
 
 namespace rmp::kinetics {
@@ -874,6 +875,32 @@ num::Vec C3Model::warm_extrapolated_start(const WarmStartPool::Entry& entry,
   return start;
 }
 
+TangentPrediction C3Model::predict_uptake(std::span<const double> mult) const {
+  TangentPrediction pred;
+  const WarmStartPool::Hit hit = warm_pool_.nearest_entry(mult);
+  if (hit.entry == nullptr) return pred;
+  pred.dist2 = num::dist2(hit.entry->key, mult);
+  if (moo::bitwise_equal(hit.entry->key, mult)) {
+    // Exact repeat: the stored root is the candidate's own, so this is the
+    // full solve's answer, not a prediction.
+    pred.valid = true;
+    pred.exact = true;
+    pred.uptake = co2_uptake(hit.entry->state, mult);
+    return pred;
+  }
+  // warm_extrapolated_start builds (or reuses) the entry's root-Jacobian LU
+  // and takes the implicit-function step; only a successful tangent step
+  // counts as a prediction — the raw-state fallback is a Newton start, not
+  // a trustworthy objective estimate.
+  const num::Vec extrapolated = warm_extrapolated_start(*hit.entry, mult);
+  if (!hit.entry->root_cache->valid) return pred;
+  pred.valid = true;
+  pred.uptake = co2_uptake(extrapolated, mult);
+  pred.step2 = num::dist2(extrapolated, hit.entry->state) /
+               std::max(num::dot(hit.entry->state, hit.entry->state), 1e-300);
+  return pred;
+}
+
 void C3Model::note_living_solution(std::span<const double> mult,
                                    const num::Vec& state) const {
   warm_pool_.record(mult, state);
@@ -943,6 +970,28 @@ SteadyState C3Model::steady_state(std::span<const double> mult,
   {
     const WarmStartPool::Hit hit = warm_pool_.nearest_entry(mult);
     if (hit.entry != nullptr) {
+      if (moo::bitwise_equal(hit.entry->key, mult)) {
+        // Exact repeat of a pooled candidate: the committed root IS this
+        // candidate's living root, so return it directly instead of
+        // re-iterating Newton from it.  Recomputing the uptake from
+        // (state, mult) reproduces the originally reported value bitwise
+        // (the accepting attempt computed it the same way), which is what
+        // lets an EvalCache hit stand in for a re-evaluation without
+        // perturbing the optimizer's trajectory.  The root is NOT restaged:
+        // the pool's pending set, and hence its aging, stays identical
+        // whether repeats are answered here or by a cache layer above.
+        SteadyState ss;
+        ss.state = hit.entry->state;
+        ss.co2_uptake = co2_uptake(ss.state, mult);
+        num::Vec dydt(kNumMetabolites);
+        derivatives(ss.state, mult, dydt);
+        rhs += 1;
+        ss.residual = num::norm_inf(dydt);
+        ss.converged = true;
+        ss.warm_started = true;
+        ss.pool_exact_hit = true;
+        return finalize(std::move(ss));
+      }
       const num::Vec start = warm_extrapolated_start(*hit.entry, mult);
       const WarmStartPool::RootCache& cache = *hit.entry->root_cache;
       const num::LuFactorization* warm_lu =

@@ -5,12 +5,23 @@
 
 namespace rmp::kinetics {
 
+namespace {
+/// Set by evaluate(), read by last_result_memoizable() on the same thread
+/// immediately afterwards (the CachedProblem contract), so a plain
+/// thread-local is race-free even with several problem instances sharing a
+/// thread.  Starts true: callers that never evaluated have nothing to veto.
+thread_local bool t_last_memoizable = true;
+}  // namespace
+
 PhotosynthesisProblem::PhotosynthesisProblem(std::shared_ptr<const C3Model> model,
                                              PhotosynthesisBounds bounds)
     : model_(std::move(model)),
       lower_(kNumEnzymes, bounds.lower),
       upper_(kNumEnzymes, bounds.upper),
-      min_uptake_(bounds.min_uptake) {}
+      min_uptake_(bounds.min_uptake),
+      prescreen_margin_(bounds.prescreen_margin),
+      prescreen_radius2_(bounds.prescreen_radius2),
+      prescreen_(bounds.prescreen) {}
 
 std::string PhotosynthesisProblem::name() const {
   const C3Config& c = model_->config();
@@ -20,8 +31,37 @@ std::string PhotosynthesisProblem::name() const {
 
 double PhotosynthesisProblem::evaluate(std::span<const double> x,
                                        std::span<double> f) const {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  t_last_memoizable = true;
   const double nitrogen = model_->nitrogen(x);
+
+  if (prescreen_.load(std::memory_order_relaxed)) {
+    const TangentPrediction pred = model_->predict_uptake(x);
+    // Exact pool repeats are never skipped (the stored root IS this
+    // candidate's answer and costs almost nothing); extrapolated
+    // predictions may skip the solve only when trustworthy (inside the
+    // trust radius) AND confidently dead (margin below the alive-leaf
+    // threshold).  The skip reports the candidate infeasible, and the
+    // archive never admits infeasible candidates, so nothing the full
+    // solve would have archived can be lost.
+    if (pred.valid && !pred.exact && pred.dist2 <= prescreen_radius2_ &&
+        pred.uptake + prescreen_margin_ < min_uptake_) {
+      prescreen_skips_.fetch_add(1, std::memory_order_relaxed);
+      f[0] = -pred.uptake;
+      f[1] = nitrogen;
+      return min_uptake_ - pred.uptake;
+    }
+  }
+
   const SteadyState ss = model_->steady_state(x);
+  // Limit-cycle averages are feasible-looking but not bitwise-repeatable
+  // (no pooled root backs them); veto their memoization.
+  t_last_memoizable = !ss.oscillatory;
+  if (ss.pool_exact_hit) {
+    pool_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    full_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (!ss.converged) {
     // No steady state: worthless uptake plus a violation proportional to the
     // residual so the constrained-domination ordering can still rank it.
@@ -40,6 +80,19 @@ double PhotosynthesisProblem::evaluate(std::span<const double> x,
 }
 
 void PhotosynthesisProblem::commit_epoch() const { model_->commit_warm_starts(); }
+
+bool PhotosynthesisProblem::last_result_memoizable() const {
+  return t_last_memoizable;
+}
+
+moo::EvalStats PhotosynthesisProblem::eval_stats() const {
+  moo::EvalStats s;
+  s.evaluations = evaluations_.load(std::memory_order_relaxed);
+  s.prescreen_skips = prescreen_skips_.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  s.full_evaluations = full_evaluations_.load(std::memory_order_relaxed);
+  return s;
+}
 
 std::size_t PhotosynthesisProblem::suggest_initial(std::span<num::Vec> out,
                                                    num::Rng& rng) const {

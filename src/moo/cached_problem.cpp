@@ -1,0 +1,58 @@
+#include "moo/cached_problem.hpp"
+
+#include <stdexcept>
+
+namespace rmp::moo {
+
+CachedProblem::CachedProblem(std::shared_ptr<const Problem> inner,
+                             std::size_t capacity)
+    : inner_(std::move(inner)), cache_(capacity) {
+  if (!inner_) throw std::invalid_argument("CachedProblem: null inner problem");
+}
+
+double CachedProblem::evaluate(std::span<const double> x,
+                               std::span<double> objectives) const {
+  double violation = 0.0;
+  if (cache_.lookup(x, objectives, violation)) return violation;
+  violation = inner_->evaluate(x, objectives);
+  // FEASIBLE-ONLY policy: infeasible results are not memoized.  A feasible
+  // kinetic result is backed by a pooled root, so an uncached re-evaluation
+  // reproduces it bitwise (exact-key short circuit) and a cache hit changes
+  // nothing; an infeasible result has no pooled root — re-solving it may
+  // drift in the low-order bits as the warm-start snapshot evolves, so the
+  // repeat must actually re-run in cached and uncached runs alike or their
+  // trajectories diverge.  Caching only feasible results is what makes
+  // cache-on == cache-off an identity, not a probability.  The inner
+  // problem can additionally veto results that are feasible yet not
+  // bitwise-repeatable (the kinetic problem's limit-cycle averages live
+  // outside the warm pool and must re-solve on repeat in both runs) — the
+  // veto is read on this thread straight after evaluate(), per the
+  // Problem::last_result_memoizable contract.
+  if (violation == 0.0 && inner_->last_result_memoizable()) {
+    cache_.stage(x, objectives, violation);
+  }
+  // Outside any deterministic region (plain serial callers that never reach
+  // an engine barrier, e.g. ad-hoc probes) commit immediately so the result
+  // is visible to the next call — mirroring the warm pool's policy.
+  if (!core::in_deterministic_region()) cache_.commit();
+  return violation;
+}
+
+void CachedProblem::commit_epoch() const {
+  inner_->commit_epoch();
+  if (!core::in_deterministic_region()) cache_.commit();
+}
+
+EvalStats CachedProblem::eval_stats() const {
+  EvalStats s = inner_->eval_stats();
+  const EvalCache::Stats cs = cache_.stats();
+  s.cache_hits += cs.hits;
+  if (s.evaluations == 0 && s.full_evaluations == 0) {
+    // Uninstrumented inner problem: every miss ran a full evaluation.
+    s.full_evaluations = cs.misses;
+  }
+  s.evaluations = cs.hits + cs.misses;
+  return s;
+}
+
+}  // namespace rmp::moo

@@ -1,0 +1,94 @@
+// Memoizing decorator over any moo::Problem.
+//
+// CachedProblem presents the same Problem interface as the wrapped problem,
+// so every engine (NSGA-II, SPEA2, MOEA/D, PMO2) and the robustness layer
+// evaluate through it unchanged.  Each evaluate():
+//   1. probes the EvalCache snapshot with the exact decision vector — a hit
+//      copies the memoized (objectives, violation) and skips the inner
+//      problem entirely;
+//   2. on a miss, delegates to the inner problem and stages the result for
+//      the next epoch commit.
+// commit_epoch() forwards to the inner problem first (warm pool commit),
+// then commits the cache — both at the engines' existing serial barriers,
+// and both deferred while a deterministic parallel region is open, so the
+// snapshots evaluations read never change mid-batch.
+//
+// Fingerprint identity cache-on vs cache-off holds because only FEASIBLE
+// results (violation == 0) are memoized, and a feasible result is
+// bitwise-repeatable: analytic problems are pure functions, and the kinetic
+// problem's feasible roots live in the warm pool, whose exact-key short
+// circuit (kinetics/c3model.cpp) reproduces them bitwise on re-evaluation.
+// Infeasible results are NOT cached — they have no pooled root, so a repeat
+// re-runs the solve ladder in cached and uncached runs alike.  A cache hit
+// therefore reproduces exactly what re-evaluating would have produced; the
+// optimizer's trajectory is unchanged and only the work is skipped.
+// (Precondition: the pool's capacity retains the run's distinct feasible
+// candidates — size the problem's pool= knob to the run, as the cache
+// differential test and bench/eval_cache do.)
+#pragma once
+
+#include <memory>
+
+#include "core/parallel.hpp"
+#include "moo/evalcache.hpp"
+#include "moo/problem.hpp"
+
+namespace rmp::moo {
+
+class CachedProblem final : public Problem {
+ public:
+  /// Wraps `inner` with an EvalCache of `capacity` entries (0 = pass-through:
+  /// every call delegates, nothing is stored).
+  CachedProblem(std::shared_ptr<const Problem> inner, std::size_t capacity);
+
+  [[nodiscard]] std::size_t num_variables() const override {
+    return inner_->num_variables();
+  }
+  [[nodiscard]] std::size_t num_objectives() const override {
+    return inner_->num_objectives();
+  }
+  [[nodiscard]] std::span<const double> lower_bounds() const override {
+    return inner_->lower_bounds();
+  }
+  [[nodiscard]] std::span<const double> upper_bounds() const override {
+    return inner_->upper_bounds();
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  void repair(num::Vec& x) const override { inner_->repair(x); }
+  std::size_t suggest_initial(std::span<num::Vec> out,
+                              num::Rng& rng) const override {
+    return inner_->suggest_initial(out, rng);
+  }
+
+  double evaluate(std::span<const double> x,
+                  std::span<double> objectives) const override;
+
+  /// Inner commit (warm pool) then cache commit; the cache commit defers
+  /// when called from inside a deterministic parallel region, matching the
+  /// Problem::commit_epoch contract.
+  void commit_epoch() const override;
+
+  /// Combines the cache's own counters with the inner problem's stats.  The
+  /// inner problem only sees cache MISSES, so its evaluations/pool_hits/
+  /// full_evaluations describe the work actually performed; cache_hits and
+  /// evaluations here add the memoized calls back on top.  For an
+  /// uninstrumented inner problem (all-zero stats) every miss was a full
+  /// evaluation.
+  [[nodiscard]] EvalStats eval_stats() const override;
+
+  bool set_prescreen(bool enabled) const override {
+    return inner_->set_prescreen(enabled);
+  }
+
+  [[nodiscard]] bool last_result_memoizable() const override {
+    return inner_->last_result_memoizable();
+  }
+
+  [[nodiscard]] const EvalCache& cache() const { return cache_; }
+
+ private:
+  std::shared_ptr<const Problem> inner_;
+  mutable EvalCache cache_;
+};
+
+}  // namespace rmp::moo

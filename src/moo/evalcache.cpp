@@ -1,0 +1,179 @@
+#include "moo/evalcache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rmp::moo {
+
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool bitwise_less(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t ba = 0;
+    std::uint64_t bb = 0;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    if (ba != bb) return ba < bb;
+  }
+  return a.size() < b.size();
+}
+
+namespace {
+
+/// FNV-1a over the key's raw bytes — matches the bitwise equality exactly
+/// (distinct bit patterns, e.g. -0.0 vs +0.0, hash independently).
+std::size_t hash_key(std::span<const double> key) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(key.data());
+  const std::size_t n = key.size() * sizeof(double);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+std::size_t EvalCache::KeyHash::operator()(const Entry* e) const {
+  return hash_key(e->key);
+}
+
+bool EvalCache::KeyEqual::operator()(const Entry* a, const Entry* b) const {
+  return bitwise_equal(a->key, b->key);
+}
+
+EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool EvalCache::lookup(std::span<const double> x, std::span<double> f,
+                       double& violation) const {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::shared_ptr<const Snapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = snapshot_;
+  }
+  if (snap) {
+    // Probe the index with a stack key that aliases the caller's data; the
+    // map only ever calls hash/equality on it, never stores it.
+    Entry probe;
+    probe.key.assign(x.begin(), x.end());
+    const auto it = snap->index.find(&probe);
+    if (it != snap->index.end()) {
+      const Entry& e = *snap->entries[it->second];
+      std::copy(e.f.begin(), e.f.end(), f.begin());
+      violation = e.violation;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void EvalCache::stage(std::span<const double> x, std::span<const double> f,
+                      double violation) {
+  if (capacity_ == 0) return;
+  auto entry = std::make_shared<Entry>();
+  entry->key.assign(x.begin(), x.end());
+  entry->f.assign(f.begin(), f.end());
+  entry->violation = violation;
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(entry));
+}
+
+void EvalCache::commit() {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return;
+
+  // Canonical order: sort the batch by the keys' bit patterns, then drop
+  // repeated keys.  stable_sort + adjacent dedupe makes the surviving set —
+  // and hence the new snapshot — a pure function of the pending SET.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const std::shared_ptr<const Entry>& a,
+                      const std::shared_ptr<const Entry>& b) {
+                     return bitwise_less(a->key, b->key);
+                   });
+  pending_.erase(std::unique(pending_.begin(), pending_.end(),
+                             [](const std::shared_ptr<const Entry>& a,
+                                const std::shared_ptr<const Entry>& b) {
+                               return bitwise_equal(a->key, b->key);
+                             }),
+                 pending_.end());
+
+  auto next = std::make_shared<Snapshot>();
+  next->entries.reserve((snapshot_ ? snapshot_->entries.size() : 0) +
+                        pending_.size());
+  if (snapshot_) {
+    // Survivors keep their commit order; entries superseded by this batch
+    // are dropped here and re-inserted at the back (their age refreshes —
+    // same policy as the warm pool).
+    for (const auto& e : snapshot_->entries) {
+      const bool superseded = std::binary_search(
+          pending_.begin(), pending_.end(), e,
+          [](const std::shared_ptr<const Entry>& a,
+             const std::shared_ptr<const Entry>& b) {
+            return bitwise_less(a->key, b->key);
+          });
+      if (!superseded) next->entries.push_back(e);
+    }
+  }
+  committed_ += pending_.size();
+  for (auto& e : pending_) next->entries.push_back(std::move(e));
+  pending_.clear();
+
+  if (next->entries.size() > capacity_) {
+    const std::size_t excess = next->entries.size() - capacity_;
+    evicted_ += excess;
+    next->entries.erase(next->entries.begin(),
+                        next->entries.begin() +
+                            static_cast<std::ptrdiff_t>(excess));
+  }
+
+  next->index.reserve(next->entries.size());
+  for (std::size_t i = 0; i < next->entries.size(); ++i) {
+    next->index.emplace(next->entries[i].get(), i);
+  }
+  snapshot_ = std::move(next);
+}
+
+void EvalCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_.reset();
+  pending_.clear();
+  committed_ = 0;
+  evicted_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t EvalCache::snapshot_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_ ? snapshot_->entries.size() : 0;
+}
+
+std::size_t EvalCache::pending_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+EvalCache::Stats EvalCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.committed = committed_;
+  s.evicted = evicted_;
+  return s;
+}
+
+}  // namespace rmp::moo

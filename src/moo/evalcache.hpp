@@ -1,0 +1,149 @@
+// Epoch-committed evaluation cache: exact-key memoization of
+// Problem::evaluate results.
+//
+// At service scale many candidates are evaluated more than once — variation
+// operators pass parents through bitwise-unchanged, migration copies spread
+// identical individuals across islands whose children repeat them, and the
+// robustness stages re-evaluate every mined candidate's nominal point once
+// per ensemble.  Each repeat currently re-runs the full (possibly kinetic)
+// evaluation.  EvalCache memoizes (objective vector, constraint violation)
+// per exact decision vector so repeats are answered from memory.
+//
+// Keying is BITWISE: two candidates hit the same entry iff their decision
+// vectors are identical as IEEE-754 bit patterns (memcmp), with no numeric
+// tolerance.  Candidates one ULP apart are different keys, +0.0 and -0.0 are
+// different keys, and the cache can therefore never substitute the result of
+// a merely-nearby candidate — a tolerance here would silently change
+// optimization trajectories.
+//
+// Determinism follows the warm-start-pool discipline (kinetics/warm_start.hpp):
+//   * readers see one immutable SNAPSHOT between commits; lookup() is a pure
+//     function of (key, snapshot), so every evaluation in a parallel batch
+//     resolves hit-or-miss independently of scheduling;
+//   * stage() only appends to a mutex-guarded pending buffer — staged
+//     entries are invisible until the next commit (mid-epoch snapshot
+//     purity), so a batch's later items cannot observe its earlier ones;
+//   * commit(), called from the same serial barriers where the archive
+//     merges and the warm pool commits (moo::Problem::commit_epoch), folds
+//     the pending entries into a new snapshot in a canonical order
+//     (lexicographic on the key's bit patterns) and deduplicates repeated
+//     keys — the new snapshot is a function of the pending SET, never of
+//     arrival order;
+//   * capacity eviction is FIFO over commit batches (oldest committed
+//     entries fall off the front), itself canonical, so a bounded cache
+//     stays a pure function of the committed history.
+// Induction over epochs: snapshot_0 = {} and snapshot_{k+1} =
+// commit(snapshot_k, batch_k) are thread-count invariant, so a cached run is
+// bit-identical for any thread count, exactly like an uncached one.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "numeric/vec.hpp"
+
+namespace rmp::moo {
+
+/// True iff a and b are identical IEEE-754 bit patterns of equal length —
+/// the cache's key equality (also used by the kinetic pool's exact-hit
+/// short circuit).  Stricter than operator==: -0.0 != +0.0, NaN == same NaN.
+[[nodiscard]] bool bitwise_equal(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// Canonical total order on decision vectors: lexicographic on the raw
+/// 64-bit patterns.  Not a numeric order — it only has to be total and
+/// platform-independent so commits are arrival-order invariant.
+[[nodiscard]] bool bitwise_less(std::span<const double> a,
+                                std::span<const double> b);
+
+class EvalCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;       ///< lookups answered from the snapshot
+    std::size_t misses = 0;     ///< lookups that fell through to evaluate()
+    std::size_t committed = 0;  ///< entries ever folded into a snapshot
+    std::size_t evicted = 0;    ///< entries dropped by capacity eviction
+  };
+
+  /// `capacity` bounds the snapshot; 0 disables the cache entirely (lookup
+  /// always misses, stage/commit are no-ops — a disabled cache costs two
+  /// branch instructions per evaluation).
+  explicit EvalCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Snapshot lookup.  On a hit copies the stored objectives into `f`
+  /// (pre-sized by the caller) and the stored violation into `violation`,
+  /// returns true.  Pure function of (x, snapshot): safe and deterministic
+  /// from any number of threads between commits.
+  bool lookup(std::span<const double> x, std::span<double> f,
+              double& violation) const;
+
+  /// Stages (x, f, violation) for the next commit.  Thread-safe; the
+  /// snapshot is untouched, so concurrent lookups stay deterministic.
+  void stage(std::span<const double> x, std::span<const double> f,
+             double violation);
+
+  /// Serial barrier: folds staged entries into a new snapshot.  Pending
+  /// entries are sorted by bitwise_less and deduplicated (repeat keys in one
+  /// epoch carry identical payloads — each is a pure function of (key,
+  /// previous snapshot) — so the first survives); survivors append behind
+  /// the existing snapshot and the OLDEST entries fall off the front when
+  /// the result exceeds capacity.  Must not run concurrently with lookup()/
+  /// stage() of the same epoch — callers invoke it only from serial
+  /// sections (CachedProblem does).
+  void commit();
+
+  /// Drops the snapshot, staged entries and counters.
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool enabled() const { return capacity_ != 0; }
+  [[nodiscard]] std::size_t snapshot_size() const;
+  [[nodiscard]] std::size_t pending_size() const;
+  [[nodiscard]] Stats stats() const;
+
+  /// Default snapshot bound: large enough that optimization-scale runs never
+  /// evict (bitwise-distinct candidates accumulate slowly), small enough to
+  /// bound a service-scale session's memory.
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+ private:
+  struct Entry {
+    num::Vec key;
+    num::Vec f;
+    double violation = 0.0;
+  };
+
+  /// Hash over the key's bytes for the snapshot's exact-match index.
+  struct KeyHash {
+    std::size_t operator()(const Entry* e) const;
+  };
+  struct KeyEqual {
+    bool operator()(const Entry* a, const Entry* b) const;
+  };
+
+  struct Snapshot {
+    /// Commit order (eviction order): oldest first.
+    std::vector<std::shared_ptr<const Entry>> entries;
+    /// Exact-key index into `entries` members (pointers are owned above).
+    std::unordered_map<const Entry*, std::size_t, KeyHash, KeyEqual> index;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;  ///< guards snapshot_ (pointer swap) and pending_
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::vector<std::shared_ptr<const Entry>> pending_;
+  std::size_t committed_ = 0;  ///< under mu_
+  std::size_t evicted_ = 0;    ///< under mu_
+  /// Relaxed: counters never influence results, only reporting; their totals
+  /// are sums of per-candidate deterministic outcomes, so the VALUES are
+  /// still thread-count invariant even though the increment order is not.
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace rmp::moo

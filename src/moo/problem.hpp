@@ -17,6 +17,18 @@
 
 namespace rmp::moo {
 
+/// Evaluation accounting exposed by instrumented problems (the kinetic
+/// problem, the EvalCache decorator).  All counters are totals since
+/// construction; each is a sum of per-candidate deterministic outcomes, so
+/// the values are invariant under the evaluating thread count.
+struct EvalStats {
+  std::size_t evaluations = 0;       ///< evaluate() calls observed
+  std::size_t cache_hits = 0;        ///< answered by an EvalCache snapshot
+  std::size_t prescreen_skips = 0;   ///< rejected by the tangent prescreen
+  std::size_t pool_hits = 0;         ///< exact warm-pool key short-circuits
+  std::size_t full_evaluations = 0;  ///< full (kinetic) solves actually run
+};
+
 class Problem {
  public:
   virtual ~Problem() = default;
@@ -59,6 +71,28 @@ class Problem {
   /// still inside the island region, and only the archipelago's serial
   /// epoch barrier may take effect there.  Default: nothing.
   virtual void commit_epoch() const {}
+
+  /// Evaluation accounting for instrumented problems.  Default: all zero
+  /// (the problem does not track its evaluations).
+  [[nodiscard]] virtual EvalStats eval_stats() const { return {}; }
+
+  /// Enables/disables the tangent-model prescreen on problems that support
+  /// one.  Returns true iff the problem honours the request; the default
+  /// implementation refuses (no prescreen available), letting callers
+  /// detect unsupported spec knobs instead of silently ignoring them.
+  virtual bool set_prescreen(bool /*enabled*/) const { return false; }
+
+  /// Whether the result of the most recent evaluate() call ON THE CALLING
+  /// THREAD is bitwise-repeatable and may therefore be memoized by a
+  /// caching decorator.  A memoizing layer queries this immediately after
+  /// evaluate() on the same thread, before any other call can intervene.
+  /// Problems whose evaluations are not all repeatable — e.g. the kinetic
+  /// problem's limit-cycle averages, which depend on the evolving warm-pool
+  /// snapshot and are never answered by the pool's exact-key short circuit
+  /// — veto memoization here so a cache hit can never stand in for a
+  /// re-evaluation that might have answered differently.  Default: every
+  /// result is repeatable (true for pure analytic problems).
+  [[nodiscard]] virtual bool last_result_memoizable() const { return true; }
 };
 
 }  // namespace rmp::moo

@@ -18,7 +18,7 @@ YieldResult run_ensemble(std::span<const double> x, const PropertyFn& f,
                          const YieldConfig& cfg,
                          const std::vector<num::Vec>& ensemble) {
   YieldResult r;
-  r.nominal_value = f(x);
+  r.nominal_value = cfg.nominal_value ? *cfg.nominal_value : f(x);
   r.absolute_threshold = cfg.epsilon_fraction * std::fabs(r.nominal_value);
   r.total_trials = ensemble.size();
   // Epoch barrier before the batch: the nominal solve (and anything staged
@@ -60,12 +60,20 @@ YieldResult local_yield(std::span<const double> x, std::size_t var, const Proper
 
 std::vector<YieldResult> local_yields(std::span<const double> x, const PropertyFn& f,
                                       const YieldConfig& cfg) {
+  // The nominal value is shared by every per-variable ensemble: evaluate it
+  // once up front (committing it into any epoch-accelerator snapshots)
+  // instead of once per variable.
+  YieldConfig shared = cfg;
+  if (!shared.nominal_value) {
+    shared.nominal_value = f(x);
+    if (shared.epoch_commit) shared.epoch_commit();
+  }
   // Parallelize across variables (each has its own seeded ensemble); the
   // per-variable ensembles then run serially thanks to the nested-batch
   // guard in core::parallel_for.
   std::vector<YieldResult> out(x.size());
-  core::parallel_for(x.size(), cfg.threads, [&](std::size_t var) {
-    out[var] = local_yield(x, var, f, cfg);
+  core::parallel_for(x.size(), shared.threads, [&](std::size_t var) {
+    out[var] = local_yield(x, var, f, shared);
   });
   return out;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -42,6 +43,13 @@ struct YieldConfig {
   /// from.  The hook must follow the moo::Problem::commit_epoch contract
   /// (cheap, result-neutral, deferred inside parallel regions); null = off.
   std::function<void()> epoch_commit;
+  /// Precomputed nominal property f(x).  When set, ensembles reuse it
+  /// instead of re-evaluating the nominal point — local_yields() sets it
+  /// once for all per-variable ensembles (previously every variable re-ran
+  /// the full nominal evaluation), and callers that already scored x (the
+  /// mining stage did) can pass their value through.  Leave unset to have
+  /// each ensemble evaluate the nominal itself.
+  std::optional<double> nominal_value;
 };
 
 struct YieldResult {

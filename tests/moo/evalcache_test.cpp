@@ -1,0 +1,338 @@
+// Property tests for the epoch-committed evaluation cache: bitwise key
+// semantics, mid-epoch snapshot purity, arrival-order-independent commits,
+// deterministic capacity eviction, zero-capacity no-op — plus the
+// CachedProblem decorator's hit/miss, deferred-commit and stats behaviour.
+#include "moo/evalcache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <random>
+
+#include "core/parallel.hpp"
+#include "moo/cached_problem.hpp"
+
+namespace rmp::moo {
+namespace {
+
+num::Vec key(std::initializer_list<double> v) { return num::Vec(v); }
+
+/// Stages (x, f=x*2, violation=0) — payload derived from the key so lookups
+/// can verify they got the right entry back.
+void stage_derived(EvalCache& cache, const num::Vec& x) {
+  num::Vec f(x);
+  for (double& v : f) v *= 2.0;
+  cache.stage(x, f, 0.0);
+}
+
+/// Lookup helper returning hit/miss; on hit checks the derived payload.
+bool probe(const EvalCache& cache, const num::Vec& x) {
+  num::Vec f(x.size(), -1.0);
+  double violation = -1.0;
+  if (!cache.lookup(x, f, violation)) return false;
+  EXPECT_EQ(violation, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(f[i], 2.0 * x[i]);
+  return true;
+}
+
+TEST(EvalCacheTest, BitwiseKeySemantics) {
+  EvalCache cache(16);
+  const num::Vec x = key({1.0, 2.0, 3.0});
+  stage_derived(cache, x);
+  cache.commit();
+  EXPECT_TRUE(probe(cache, x));
+
+  // One ULP off in any coordinate is a different key.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num::Vec up(x), down(x);
+    up[i] = std::nextafter(x[i], 1e300);
+    down[i] = std::nextafter(x[i], -1e300);
+    EXPECT_FALSE(probe(cache, up)) << i;
+    EXPECT_FALSE(probe(cache, down)) << i;
+  }
+
+  // -0.0 and +0.0 compare equal numerically but are distinct bit patterns,
+  // hence distinct keys.
+  const num::Vec zero = key({0.0});
+  const num::Vec negzero = key({-0.0});
+  ASSERT_TRUE(zero[0] == negzero[0]);
+  EvalCache signs(16);
+  stage_derived(signs, zero);
+  signs.commit();
+  EXPECT_TRUE(probe(signs, zero));
+  EXPECT_FALSE(probe(signs, negzero));
+}
+
+TEST(EvalCacheTest, BitwiseHelpers) {
+  const num::Vec a = key({1.0, 2.0});
+  const num::Vec b = key({1.0, std::nextafter(2.0, 3.0)});
+  EXPECT_TRUE(bitwise_equal(a, a));
+  EXPECT_FALSE(bitwise_equal(a, b));
+  EXPECT_FALSE(bitwise_equal(a, key({1.0})));
+  EXPECT_FALSE(bitwise_equal(key({0.0}), key({-0.0})));
+  // bitwise_less is a strict total order on distinct patterns.
+  EXPECT_TRUE(bitwise_less(a, b) != bitwise_less(b, a));
+  EXPECT_FALSE(bitwise_less(a, a));
+  EXPECT_TRUE(bitwise_less(key({1.0}), a));  // shorter prefix orders first
+}
+
+TEST(EvalCacheTest, MidEpochSnapshotPurity) {
+  EvalCache cache(16);
+  const num::Vec x = key({4.0, 5.0});
+  stage_derived(cache, x);
+  // Staged but uncommitted: invisible, including to later stages of the
+  // same epoch.
+  EXPECT_FALSE(probe(cache, x));
+  EXPECT_EQ(cache.snapshot_size(), 0u);
+  EXPECT_EQ(cache.pending_size(), 1u);
+  cache.commit();
+  EXPECT_TRUE(probe(cache, x));
+  EXPECT_EQ(cache.snapshot_size(), 1u);
+  EXPECT_EQ(cache.pending_size(), 0u);
+}
+
+TEST(EvalCacheTest, ArrivalOrderIndependentCommits) {
+  // Stage the same SET of entries in shuffled orders (with duplicates) into
+  // caches small enough to force eviction; every cache must end up with the
+  // identical visible set.
+  std::vector<num::Vec> keys;
+  for (int i = 0; i < 7; ++i) {
+    keys.push_back(key({static_cast<double>(i), 1.0 / (i + 1)}));
+  }
+  std::mt19937 shuffler(17);
+  std::vector<std::vector<bool>> visible;
+  for (int order = 0; order < 5; ++order) {
+    EvalCache cache(4);
+    std::vector<std::size_t> idx = {0, 1, 2, 3, 4, 5, 6, 2, 5};  // dups
+    std::shuffle(idx.begin(), idx.end(), shuffler);
+    for (std::size_t i : idx) stage_derived(cache, keys[i]);
+    cache.commit();
+    EXPECT_EQ(cache.snapshot_size(), 4u);
+    std::vector<bool> hits;
+    hits.reserve(keys.size());
+    for (const num::Vec& k : keys) hits.push_back(probe(cache, k));
+    visible.push_back(std::move(hits));
+  }
+  for (std::size_t i = 1; i < visible.size(); ++i) {
+    EXPECT_EQ(visible[i], visible[0]) << "order " << i;
+  }
+}
+
+TEST(EvalCacheTest, CapacityEvictionIsFifoWithRefresh) {
+  EvalCache cache(2);
+  const num::Vec a = key({1.0}), b = key({2.0}), c = key({3.0});
+  stage_derived(cache, a);
+  cache.commit();
+  stage_derived(cache, b);
+  cache.commit();
+  EXPECT_TRUE(probe(cache, a));
+  EXPECT_TRUE(probe(cache, b));
+
+  // Re-committing `a` refreshes its age, so the third key evicts `b`.
+  stage_derived(cache, a);
+  cache.commit();
+  stage_derived(cache, c);
+  cache.commit();
+  EXPECT_TRUE(probe(cache, a));
+  EXPECT_FALSE(probe(cache, b));
+  EXPECT_TRUE(probe(cache, c));
+  EXPECT_EQ(cache.stats().evicted, 1u);
+}
+
+TEST(EvalCacheTest, DuplicateStagesDeduplicate) {
+  EvalCache cache(16);
+  const num::Vec x = key({9.0});
+  stage_derived(cache, x);
+  stage_derived(cache, x);
+  stage_derived(cache, x);
+  cache.commit();
+  EXPECT_EQ(cache.snapshot_size(), 1u);
+  EXPECT_EQ(cache.stats().committed, 1u);
+}
+
+TEST(EvalCacheTest, ZeroCapacityIsANoOp) {
+  EvalCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  const num::Vec x = key({1.0});
+  stage_derived(cache, x);
+  EXPECT_EQ(cache.pending_size(), 0u);
+  cache.commit();
+  EXPECT_EQ(cache.snapshot_size(), 0u);
+  EXPECT_FALSE(probe(cache, x));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().misses, 0u);
+}
+
+TEST(EvalCacheTest, ClearResetsEverything) {
+  EvalCache cache(8);
+  stage_derived(cache, key({1.0}));
+  cache.commit();
+  EXPECT_TRUE(probe(cache, key({1.0})));
+  cache.clear();
+  EXPECT_EQ(cache.snapshot_size(), 0u);
+  EXPECT_FALSE(probe(cache, key({1.0})));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.committed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CachedProblem decorator
+// ---------------------------------------------------------------------------
+
+/// One-variable problem counting its evaluate() calls; x < 0 is infeasible.
+class CountingProblem final : public Problem {
+ public:
+  std::size_t num_variables() const override { return 1; }
+  std::size_t num_objectives() const override { return 2; }
+  std::span<const double> lower_bounds() const override { return lo_; }
+  std::span<const double> upper_bounds() const override { return hi_; }
+  double evaluate(std::span<const double> x,
+                  std::span<double> f) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    f[0] = x[0] * x[0];
+    f[1] = 1.0 - x[0];
+    return x[0] < 0.0 ? -x[0] : 0.0;
+  }
+  mutable std::atomic<std::size_t> calls{0};
+
+ private:
+  num::Vec lo_{-1.0}, hi_{1.0};
+};
+
+TEST(CachedProblemTest, HitsSkipTheInnerProblemOutsideRegions) {
+  auto inner = std::make_shared<CountingProblem>();
+  CachedProblem cached(inner, 64);
+  const num::Vec x = key({0.5});
+  num::Vec f(2);
+  // Outside any deterministic region the miss commits immediately, so the
+  // second call is a hit.
+  EXPECT_EQ(cached.evaluate(x, f), 0.0);
+  EXPECT_EQ(inner->calls.load(), 1u);
+  num::Vec f2(2, -1.0);
+  EXPECT_EQ(cached.evaluate(x, f2), 0.0);
+  EXPECT_EQ(inner->calls.load(), 1u);
+  EXPECT_EQ(f2[0], f[0]);
+  EXPECT_EQ(f2[1], f[1]);
+
+  const EvalStats s = cached.eval_stats();
+  EXPECT_EQ(s.evaluations, 2u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.full_evaluations, 1u);
+}
+
+TEST(CachedProblemTest, InfeasibleResultsAreNotCached) {
+  auto inner = std::make_shared<CountingProblem>();
+  CachedProblem cached(inner, 64);
+  const num::Vec x = key({-0.25});
+  num::Vec f(2);
+  EXPECT_GT(cached.evaluate(x, f), 0.0);
+  EXPECT_GT(cached.evaluate(x, f), 0.0);
+  EXPECT_EQ(inner->calls.load(), 2u);  // repeat re-ran: no memoized entry
+  EXPECT_EQ(cached.eval_stats().cache_hits, 0u);
+}
+
+/// A feasible problem that vetoes memoization of every result — modelling
+/// evaluations that are feasible yet not bitwise-repeatable (the kinetic
+/// problem's limit-cycle averages).
+class VetoProblem final : public Problem {
+ public:
+  std::size_t num_variables() const override { return 1; }
+  std::size_t num_objectives() const override { return 2; }
+  std::span<const double> lower_bounds() const override { return lo_; }
+  std::span<const double> upper_bounds() const override { return hi_; }
+  double evaluate(std::span<const double> x,
+                  std::span<double> f) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    f[0] = x[0];
+    f[1] = -x[0];
+    return 0.0;  // feasible — only the veto below blocks memoization
+  }
+  bool last_result_memoizable() const override { return false; }
+  mutable std::atomic<std::size_t> calls{0};
+
+ private:
+  num::Vec lo_{-1.0}, hi_{1.0};
+};
+
+TEST(CachedProblemTest, VetoedResultsAreNotCached) {
+  auto inner = std::make_shared<VetoProblem>();
+  CachedProblem cached(inner, 64);
+  const num::Vec x = key({0.5});
+  num::Vec f(2);
+  EXPECT_EQ(cached.evaluate(x, f), 0.0);
+  EXPECT_EQ(cached.evaluate(x, f), 0.0);
+  // Feasible but vetoed: the repeat re-ran the inner problem, exactly as an
+  // uncached run would have re-run it.
+  EXPECT_EQ(inner->calls.load(), 2u);
+  EXPECT_EQ(cached.eval_stats().cache_hits, 0u);
+  // The decorator forwards the veto for stacked caches.
+  EXPECT_FALSE(cached.last_result_memoizable());
+}
+
+TEST(CachedProblemTest, CommitsDeferInsideDeterministicRegions) {
+  auto inner = std::make_shared<CountingProblem>();
+  CachedProblem cached(inner, 64);
+  const num::Vec x = key({0.25});
+  // Inside a region (even the serial n_threads=1 path) misses stay staged:
+  // repeats within the batch re-evaluate, and commit_epoch() defers.
+  core::parallel_for(3, 1, [&](std::size_t) {
+    num::Vec f(2);
+    EXPECT_EQ(cached.evaluate(x, f), 0.0);
+    cached.commit_epoch();  // must be a no-op here
+  });
+  EXPECT_EQ(inner->calls.load(), 3u);
+  EXPECT_EQ(cached.cache().snapshot_size(), 0u);
+  // The serial barrier commits; the next epoch hits.
+  cached.commit_epoch();
+  EXPECT_EQ(cached.cache().snapshot_size(), 1u);
+  num::Vec f(2);
+  EXPECT_EQ(cached.evaluate(x, f), 0.0);
+  EXPECT_EQ(inner->calls.load(), 3u);
+}
+
+TEST(CachedProblemTest, BatchResultsAreThreadCountInvariant) {
+  // Same duplicated batch at widths 1 and 4: identical objectives and
+  // identical hit/miss totals.
+  std::vector<EvalStats> stats;
+  std::vector<std::vector<double>> objectives;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    auto inner = std::make_shared<CountingProblem>();
+    CachedProblem cached(inner, 64);
+    std::vector<moo::Individual> batch(12);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].x = key({static_cast<double>(i % 4) / 8.0});  // 4 distinct keys
+    }
+    std::vector<double> f0;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      core::evaluate_batch(cached, batch, threads);
+      cached.commit_epoch();
+      for (const auto& ind : batch) f0.push_back(ind.f[0]);
+    }
+    stats.push_back(cached.eval_stats());
+    objectives.push_back(std::move(f0));
+  }
+  EXPECT_EQ(objectives[0], objectives[1]);
+  EXPECT_EQ(stats[0].evaluations, stats[1].evaluations);
+  EXPECT_EQ(stats[0].cache_hits, stats[1].cache_hits);
+  EXPECT_EQ(stats[0].full_evaluations, stats[1].full_evaluations);
+  // Epochs 2 and 3 are answered entirely from the snapshot: 12 + 12 hits,
+  // plus the first epoch's 8 in-batch repeats missing (purity) = 24 hits.
+  EXPECT_EQ(stats[0].cache_hits, 24u);
+  EXPECT_EQ(stats[0].full_evaluations, 12u);
+}
+
+TEST(CachedProblemTest, ForwardsProblemSurface) {
+  auto inner = std::make_shared<CountingProblem>();
+  CachedProblem cached(inner, 4);
+  EXPECT_EQ(cached.num_variables(), 1u);
+  EXPECT_EQ(cached.num_objectives(), 2u);
+  EXPECT_EQ(cached.lower_bounds()[0], -1.0);
+  EXPECT_EQ(cached.upper_bounds()[0], 1.0);
+  EXPECT_FALSE(cached.set_prescreen(true));  // inner has none
+}
+
+}  // namespace
+}  // namespace rmp::moo
