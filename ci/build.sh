@@ -48,10 +48,21 @@ grep -q '"fingerprint": "0x' "${BUILD_DIR}/rmp_run_result.json" \
 RMP_BENCH_SMOKE=1 BUILD_DIR="${BUILD_DIR}" \
   OUT_DIR="${BUILD_DIR}/bench-results" bench/run_benchmarks.sh
 
+# The smoke run must leave every phase-gate artifact behind.  run_benchmarks.sh
+# asserts this itself; re-checking here keeps CI honest even if the driver's
+# internal checks regress — a missing artifact means a determinism gate was
+# skipped, never a benign omission.
+for artifact in BENCH_pmo2 BENCH_archive BENCH_kinetics BENCH_evalcache; do
+  test -s "${BUILD_DIR}/bench-results/${artifact}.json" \
+    || { echo "bench smoke left no ${artifact}.json — phase gates skipped" >&2; exit 1; }
+done
+
 # ASan+UBSan Debug pass over the algorithmic core (moo / pareto / numeric)
-# plus the layers this PR rebuilt (kinetics steady-state engine, numeric
-# solvers, robustness Monte-Carlo): the places where an out-of-bounds index
-# or UB-reliant shortcut (the old percentile Release OOB class) would
+# plus the kinetics engine, robustness Monte-Carlo, and the arena-backed
+# solver layer (workspace scratch reuse, the shooting cycle solver, and the
+# v1-vs-v2 differential harness — the scratch-arena lifetime contract is
+# exactly the kind of bug only ASan sees): the places where an out-of-bounds
+# index or UB-reliant shortcut (the old percentile Release OOB class) would
 # otherwise slip through Release CI.  -fno-sanitize-recover (set by
 # RMP_SANITIZE in CMake) turns every UBSan finding into a test failure.
 # Only the affected test binaries are built — the full suite already ran
@@ -63,8 +74,9 @@ SAN_TESTS=(
   pareto_coverage_test pareto_front_test pareto_hypervolume_test
   pareto_mining_test
   numeric_matrix_test numeric_newton_test numeric_ode_test numeric_rng_test
-  numeric_simplex_test numeric_sparse_test numeric_stats_test
-  numeric_vec_test
+  numeric_shooting_test numeric_simplex_test numeric_solver_differential_test
+  numeric_sparse_test numeric_stats_test numeric_vec_test
+  numeric_workspace_test
   kinetics_c3model_test kinetics_control_analysis_test kinetics_enzymes_test
   kinetics_problem_test kinetics_prescreen_test kinetics_warm_start_test
   moo_evalcache_test integration_cache_differential_test

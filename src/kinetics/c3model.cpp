@@ -9,6 +9,7 @@
 
 #include "moo/evalcache.hpp"
 #include "numeric/newton.hpp"
+#include "numeric/shooting.hpp"
 
 namespace rmp::kinetics {
 
@@ -695,14 +696,26 @@ bool physical_state(std::span<const double> y, const C3Config& c) {
   return y[kAtp] <= c.adenylate_total + 1e-6;
 }
 
+/// Uptake above which a root/cycle counts as a LIVING solution (see
+/// steady_state's ladder; shared with the exact-cycle short circuit so a
+/// pooled cycle is only returned directly when the original call returned it).
+constexpr double kAliveUptake = 0.5;
+
 }  // namespace
 
 SteadyState C3Model::solve_from(std::span<const double> start,
                                 std::span<const double> mult,
                                 bool allow_fallback) const {
-  const num::NonlinearSystem system = [this, mult](std::span<const double> y,
-                                                   num::Vec& out) {
+  // NonlinearSystem/JacobianFn are non-owning FunctionRefs: the lambdas must
+  // be NAMED locals that outlive every solver call below.
+  const auto system_fn = [this, mult](std::span<const double> y,
+                                      num::Vec& out) {
     derivatives(y, mult, out);
+  };
+  const num::NonlinearSystem system = system_fn;
+  const auto jacobian_fn = [this, mult](std::span<const double> y,
+                                        num::Matrix& jac) {
+    jacobian_at(y, mult, jac);
   };
 
   // Rate magnitudes are O(10) mmol/l/s; a residual of 1e-6 is already ~7
@@ -714,9 +727,7 @@ SteadyState C3Model::solve_from(std::span<const double> start,
   nopts.state_floor = 1e-12;
   nopts.chord_max_age = std::max<std::size_t>(config_.chord_max_age, 1);
   if (config_.analytic_jacobian) {
-    nopts.jacobian = [this, mult](std::span<const double> y, num::Matrix& jac) {
-      jacobian_at(y, mult, jac);
-    };
+    nopts.jacobian = jacobian_fn;
   }
 
   SteadyState ss;
@@ -770,17 +781,19 @@ SteadyState C3Model::solve_from(std::span<const double> start,
     iopts.initial_step = 1e-3;
     iopts.state_floor = 0.0;
     iopts.max_step = 50.0;
+    const auto ode_jacobian_fn = [this, mult](double, std::span<const double> y,
+                                              num::Matrix& jac) {
+      jacobian_at(y, mult, jac);
+    };
     if (config_.analytic_jacobian) {
-      iopts.jacobian = [this, mult](double, std::span<const double> y,
-                                    num::Matrix& jac) {
-        jacobian_at(y, mult, jac);
-      };
+      iopts.jacobian = ode_jacobian_fn;
     }
 
-    const num::OdeRhs rhs = [this, mult](double, std::span<const double> y,
-                                         num::Vec& dydt) {
+    const auto rhs_fn = [this, mult](double, std::span<const double> y,
+                                     num::Vec& dydt) {
       derivatives(y, mult, dydt);
     };
+    const num::OdeRhs rhs = rhs_fn;
 
     num::Vec y(start.begin(), start.end());
     double t = 0.0;
@@ -824,9 +837,14 @@ SteadyState C3Model::newton_attempt(std::span<const double> start,
 SteadyState C3Model::quick_attempt(std::span<const double> start,
                                    std::span<const double> mult,
                                    const num::LuFactorization* warm_lu) const {
-  const num::NonlinearSystem system = [this, mult](std::span<const double> y,
-                                                   num::Vec& out) {
+  const auto system_fn = [this, mult](std::span<const double> y,
+                                      num::Vec& out) {
     derivatives(y, mult, out);
+  };
+  const num::NonlinearSystem system = system_fn;
+  const auto jacobian_fn = [this, mult](std::span<const double> y,
+                                        num::Matrix& jac) {
+    jacobian_at(y, mult, jac);
   };
   num::NewtonOptions nopts;
   nopts.max_iterations = 30;
@@ -835,9 +853,7 @@ SteadyState C3Model::quick_attempt(std::span<const double> start,
   nopts.chord_max_age = std::max<std::size_t>(config_.chord_max_age, 1);
   nopts.warm_lu = warm_lu;
   if (config_.analytic_jacobian) {
-    nopts.jacobian = [this, mult](std::span<const double> y, num::Matrix& jac) {
-      jacobian_at(y, mult, jac);
-    };
+    nopts.jacobian = jacobian_fn;
   }
   num::NewtonResult newton = num::solve_newton(system, start, nopts);
   SteadyState ss;
@@ -878,6 +894,27 @@ num::Vec C3Model::warm_extrapolated_start(const WarmStartPool::Entry& entry,
 TangentPrediction C3Model::predict_uptake(std::span<const double> mult) const {
   TangentPrediction pred;
   const WarmStartPool::Hit hit = warm_pool_.nearest_entry(mult);
+  {
+    // A strictly closer CYCLE anchor wins: inside the oscillatory shell the
+    // nearest root's tangent model extrapolates across the Hopf boundary and
+    // lies, while the neighbour's cycle-average observable is the honest
+    // zeroth-order estimate.  Ties (and equal-distance root entries) keep
+    // the root path — its tangent model carries first-order information.
+    const WarmStartPool::Hit chit = warm_pool_.nearest_cycle(mult);
+    if (chit.entry != nullptr) {
+      const double cyc_d2 = num::dist2(chit.entry->key, mult);
+      const bool closer =
+          hit.entry == nullptr || cyc_d2 < num::dist2(hit.entry->key, mult);
+      if (closer) {
+        pred.valid = true;
+        pred.cycle = true;
+        pred.dist2 = cyc_d2;
+        pred.exact = moo::bitwise_equal(chit.entry->key, mult);
+        pred.uptake = chit.entry->mean_uptake;
+        return pred;
+      }
+    }
+  }
   if (hit.entry == nullptr) return pred;
   pred.dist2 = num::dist2(hit.entry->key, mult);
   if (moo::bitwise_equal(hit.entry->key, mult)) {
@@ -913,6 +950,16 @@ void C3Model::note_living_solution(std::span<const double> mult,
   if (!core::in_deterministic_region()) warm_pool_.commit();
 }
 
+void C3Model::note_living_cycle(std::span<const double> mult,
+                                const num::Vec& average_state,
+                                const num::Vec& cycle_point, double period,
+                                double mean_uptake) const {
+  warm_pool_.record_cycle(mult, average_state, cycle_point, period,
+                          mean_uptake);
+  // Same commit discipline as note_living_solution.
+  if (!core::in_deterministic_region()) warm_pool_.commit();
+}
+
 void C3Model::commit_warm_starts() const {
   // A nested engine (a PMO2 island's NSGA-II) reaches its own generation
   // barrier while still inside the island parallel region; its commit must
@@ -929,7 +976,6 @@ SteadyState C3Model::steady_state(std::span<const double> mult,
   // every cheap Newton start is tried until one yields positive fixation,
   // the integration fallback gets the next say, and a dead root is reported
   // only when nothing else converged.
-  constexpr double kAliveUptake = 0.5;
   std::optional<SteadyState> dead;
   // Work counters accumulate over the WHOLE ladder, whichever attempt wins.
   std::size_t iterations = 0, rhs = 0, factorizations = 0;
@@ -965,6 +1011,34 @@ SteadyState C3Model::steady_state(std::span<const double> mult,
   if (!start_hint.empty()) {
     if (auto alive = consider(quick_attempt(start_hint, mult), true)) {
       return finalize(std::move(*alive));
+    }
+  }
+  {
+    // Exact repeat of a pooled LIVING limit cycle: the original call for
+    // this key returned the cycle average (living cycles win the ladder at
+    // step 3), so returning the stored entry reproduces that report bitwise
+    // — mean_uptake is an orbit average, not co2_uptake(mean state), hence
+    // returned as stored rather than recomputed.  Dead cycle anchors stay in
+    // the pool for prescreen predictions but never short-circuit the ladder
+    // (the original call may have reported an earlier dead root instead).
+    const WarmStartPool::Hit chit = warm_pool_.nearest_cycle(mult);
+    if (chit.entry != nullptr && chit.entry->mean_uptake > kAliveUptake &&
+        moo::bitwise_equal(chit.entry->key, mult)) {
+      SteadyState ss;
+      ss.state = chit.entry->state;
+      ss.co2_uptake = chit.entry->mean_uptake;
+      num::Vec dydt(kNumMetabolites);
+      derivatives(ss.state, mult, dydt);
+      rhs += 1;
+      ss.residual = num::norm_inf(dydt);
+      ss.converged = true;
+      ss.warm_started = true;
+      ss.pool_exact_hit = true;
+      ss.oscillatory = true;
+      ss.used_integration_fallback = true;
+      ss.used_shooting = true;
+      ss.cycle_period = chit.entry->period;
+      return finalize(std::move(ss));
     }
   }
   {
@@ -1036,8 +1110,113 @@ SteadyState C3Model::steady_state(std::span<const double> mult,
   return finalize(std::move(last));
 }
 
+SteadyState C3Model::cycle_shoot(std::span<const double> start,
+                                 std::span<const double> mult) const {
+  SteadyState ss;
+
+  const auto rhs_fn = [this, mult](double, std::span<const double> y,
+                                   num::Vec& dydt) {
+    derivatives(y, mult, dydt);
+  };
+  const num::OdeRhs rhs = rhs_fn;
+  const auto jacobian_fn = [this, mult](double, std::span<const double> y,
+                                        num::Matrix& jac) {
+    jacobian_at(y, mult, jac);
+  };
+  const auto uptake_fn = [this, mult](std::span<const double> y) {
+    return co2_uptake(y, mult);
+  };
+  const num::CycleObservable observable = uptake_fn;
+
+  num::ShootingOptions sopts;
+  // The third-order Rosenbrock rides the stiff orbit at a fraction of the
+  // step-doubling ROW2 cost; tolerances match the windowed fallback — the
+  // drift-tolerant acceptance below budgets a per-period family migration
+  // of order 1 mmol/l, so flights resolved to ~1e-2 absolute are already an
+  // order of magnitude inside the quantity being measured, and each decade
+  // of extra tolerance costs ~2x the steps on a 3rd-order method.  This is
+  // where the shooting path earns its speed: ~3 one-period flights plus a
+  // one-period averaging pass against the windowed fallback's ~18 periods
+  // at the SAME per-step cost.
+  sopts.ode.method = num::OdeMethod::kRosenbrock3;
+  sopts.ode.abs_tol = 1e-6;
+  sopts.ode.rel_tol = 1e-4;
+  sopts.ode.initial_step = 1e-3;
+  sopts.ode.state_floor = 0.0;
+  sopts.ode.max_step = 20.0;
+  if (config_.analytic_jacobian) sopts.ode.jacobian = jacobian_fn;
+  // Pseudo-cycle drift budget (see C3Config::cycle_drift_tolerance).
+  // Each aligned round is one PLAIN period flight, and doubles as
+  // relaxation — the fast modes contract every round — so a generous cap
+  // is the cheap choice: a warm restart from a far-away pooled anchor that
+  // needs 10-12 rounds still costs a fraction of timing out into the cold
+  // bootstrap (a 400-unit transient plus a 240-unit period scan) it would
+  // otherwise trigger.
+  sopts.drift_tolerance = config_.cycle_drift_tolerance;
+  sopts.max_iterations = 16;
+  // Fast-remainder gate for the aligned residual split: 2e-4 * scale ~ 0.3
+  // mmol/l.  Two forces size it.  Downward pressure is answer quality — a
+  // snapshot whose fast modes still carry eps contaminates the cycle
+  // average by O(eps), and the differential harness holds shooting-vs-
+  // window agreement to ~1 mmol/l absolute, so 0.3 stays comfortably
+  // inside.  Upward pressure is the fast contraction rate: candidates sit
+  // near the Hopf shell where the radial multiplier is only ~0.5/period,
+  // so each decade of extra strictness costs 3-4 more full-period rounds
+  // on every warm restart (measured: a 3e-2 gate pushed warm solves to
+  // 4-8 rounds and timed a third of them out into the cold path, erasing
+  // the shooting advantage outright).
+  sopts.tolerance = 2e-4;
+
+  const auto shoot = [&](std::span<const double> y0, double period) {
+    return num::solve_limit_cycle(rhs, y0, period, sopts, observable);
+  };
+
+  num::ShootingResult cyc;
+  // Warm restart: the nearest pooled cycle anchor's on-orbit point and
+  // period.  Pure function of (candidate, snapshot), like every warm start.
+  const WarmStartPool::Hit hit = warm_pool_.nearest_cycle(mult);
+  if (hit.entry != nullptr) {
+    cyc = shoot(hit.entry->cycle_point, hit.entry->period);
+  }
+  if (!cyc.converged) {
+    // Cold bootstrap: ride out the transient, then read (y0, T) off the
+    // most-oscillatory coordinate's mean crossings.  Both legs only need to
+    // land NEAR the attractor — the aligned-Picard rounds do the precision
+    // work.
+    num::Vec y(start.begin(), start.end());
+    const num::OdeResult leg = num::integrate(rhs, 0.0, y, 400.0, sopts.ode);
+    if (!leg.success || !num::all_finite(leg.y)) return ss;
+    const num::PeriodEstimate est =
+        num::estimate_period(rhs, leg.y, 240.0, 0.5, sopts.ode);
+    if (!est.valid) return ss;
+    cyc = shoot(est.anchor_state, est.period);
+  }
+  if (!cyc.converged || !physical_state(cyc.average_state, config_)) return ss;
+
+  ss.state = cyc.average_state;
+  ss.co2_uptake = cyc.average_observable;
+  num::Vec d(kNumMetabolites);
+  derivatives(ss.state, mult, d);
+  ss.residual = num::norm_inf(d);
+  ss.converged = true;
+  ss.oscillatory = true;
+  ss.used_integration_fallback = true;
+  ss.used_shooting = true;
+  ss.cycle_period = cyc.period;
+  // Every converged physical cycle becomes a pool anchor — living ones feed
+  // the exact-hit short circuit and warm restarts, dead ones give the
+  // prescreen honest low-uptake predictions inside the oscillatory shell.
+  note_living_cycle(mult, ss.state, cyc.cycle_state, cyc.period, ss.co2_uptake);
+  return ss;
+}
+
 SteadyState C3Model::cycle_average(std::span<const double> start,
                                    std::span<const double> mult) const {
+  if (config_.cycle_shooting) {
+    SteadyState shot = cycle_shoot(start, mult);
+    if (shot.converged) return shot;
+  }
+
   num::OdeOptions iopts;
   iopts.method = num::OdeMethod::kRosenbrockW;
   iopts.abs_tol = 1e-6;
@@ -1045,17 +1224,19 @@ SteadyState C3Model::cycle_average(std::span<const double> start,
   iopts.initial_step = 1e-3;
   iopts.state_floor = 0.0;
   iopts.max_step = 20.0;
+  const auto jacobian_fn = [this, mult](double, std::span<const double> y,
+                                        num::Matrix& jac) {
+    jacobian_at(y, mult, jac);
+  };
   if (config_.analytic_jacobian) {
-    iopts.jacobian = [this, mult](double, std::span<const double> y,
-                                  num::Matrix& jac) {
-      jacobian_at(y, mult, jac);
-    };
+    iopts.jacobian = jacobian_fn;
   }
 
-  const num::OdeRhs rhs = [this, mult](double, std::span<const double> y,
-                                       num::Vec& dydt) {
+  const auto rhs_fn = [this, mult](double, std::span<const double> y,
+                                   num::Vec& dydt) {
     derivatives(y, mult, dydt);
   };
+  const num::OdeRhs rhs = rhs_fn;
 
   SteadyState ss;
   // Skip the initial transient, then average over a sampling window.

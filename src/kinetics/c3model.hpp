@@ -168,6 +168,24 @@ struct C3Config {
   /// Capacity of the epoch-committed warm-start pool (0 disables it and
   /// every candidate cold-starts through the anchor ladder).
   std::size_t warm_pool_capacity = 64;
+  /// Oscillatory candidates: solve the limit cycle by periodic-orbit
+  /// shooting (Broyden on (y0, T), see num::solve_limit_cycle) and average
+  /// over exactly one converged period, warm-restarting from pooled cycle
+  /// anchors.  When false — or whenever the shooting solver gives up — the
+  /// PR-5 windowed long integration runs instead, so classifications never
+  /// depend on this knob, only cost and the averaging window do.
+  bool cycle_shooting = true;
+  /// Drift budget handed to the shooting solver (ShootingOptions::
+  /// drift_tolerance), relative to the state scale.  The C3 oscillatory
+  /// shell has NO isolated limit cycle: serine accumulates as a
+  /// near-conserved photorespiratory pool, so the orbit drifts along a
+  /// one-parameter family of pseudo-cycles and strict Newton shooting
+  /// correctly gives up on every candidate.  A positive budget accepts a
+  /// phase-aligned snapshot of the current pseudo-cycle — the same
+  /// semantics as the windowed average it replaces, which is equally a
+  /// snapshot of that drift.  0 restores strict shooting (always falls
+  /// back to the window in this model).
+  double cycle_drift_tolerance = 0.05;
 
   // --- reporting ------------------------------------------------------------
   /// Converts net stromal fixation (mmol l^-1 s^-1) to leaf-area CO2 uptake
@@ -225,6 +243,11 @@ struct SteadyState {
   /// is what leaf gas-exchange instruments measure during photosynthetic
   /// oscillations).
   bool oscillatory = false;
+  /// True when an oscillatory result came from the shooting limit-cycle
+  /// solver (one converged period) rather than the windowed integration.
+  bool used_shooting = false;
+  /// Converged cycle period (time units); 0 unless used_shooting.
+  double cycle_period = 0.0;
 };
 
 /// First-order uptake prediction from the warm-start pool's tangent models
@@ -246,6 +269,10 @@ struct TangentPrediction {
   /// linearization left its own neighbourhood: trust predictions only when
   /// step2 is small.  0 for exact hits.
   double step2 = 0.0;
+  /// The prediction came from a CYCLE anchor: `uptake` is the neighbour's
+  /// stored cycle-average observable (zeroth order — no tangent model for
+  /// cycles), and step2 is 0.  Callers should use a tighter trust radius.
+  bool cycle = false;
 };
 
 class C3Model {
@@ -334,6 +361,14 @@ class C3Model {
   void note_living_solution(std::span<const double> mult,
                             const num::Vec& state) const;
 
+  /// Stages a converged limit cycle (average state, on-orbit point, period,
+  /// mean uptake) as a pool cycle anchor; same commit discipline as
+  /// note_living_solution.
+  void note_living_cycle(std::span<const double> mult,
+                         const num::Vec& average_state,
+                         const num::Vec& cycle_point, double period,
+                         double mean_uptake) const;
+
   /// Start vector from a pool hit: one implicit-function (chord) step from
   /// the neighbour's root using its lazily-cached LU — the rate laws are
   /// linear in the multipliers, so this is the exact first-order tangent
@@ -345,9 +380,19 @@ class C3Model {
 
   void build_anchors();
 
-  /// Time-averaged state/uptake over one window of a limit cycle.
+  /// Time-averaged state/uptake of a limit cycle: the shooting solver when
+  /// config_.cycle_shooting (one converged period, pooled cycle anchors as
+  /// warm restarts), falling back to the windowed long integration whenever
+  /// shooting gives up — so the classification never depends on the knob.
   [[nodiscard]] SteadyState cycle_average(std::span<const double> start,
                                           std::span<const double> mult) const;
+
+  /// The shooting leg of cycle_average: bootstrap (y0, T) from a pooled
+  /// cycle anchor or estimate_period on the post-transient orbit, run
+  /// num::solve_limit_cycle, and — on a converged physical cycle — stage it
+  /// as a pool anchor.  converged = false means "fall back to the window".
+  [[nodiscard]] SteadyState cycle_shoot(std::span<const double> start,
+                                        std::span<const double> mult) const;
 
   /// Newton-only attempt from one starting state (no integration).
   [[nodiscard]] SteadyState newton_attempt(std::span<const double> start,

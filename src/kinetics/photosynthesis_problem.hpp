@@ -46,6 +46,11 @@ struct PhotosynthesisBounds {
   /// Trust region: squared multiplier-space distance beyond which the
   /// tangent extrapolation is not trusted to decide a skip.
   double prescreen_radius2 = 1.0;
+  /// Trust region for CYCLE-anchor predictions (TangentPrediction::cycle):
+  /// the stored cycle-average uptake is a zeroth-order estimate — no tangent
+  /// model corrects it toward the candidate — so skips demand a tighter
+  /// neighbourhood than the first-order root predictions get.
+  double cycle_prescreen_radius2 = 0.25;
 };
 
 class PhotosynthesisProblem final : public moo::Problem {
@@ -83,12 +88,14 @@ class PhotosynthesisProblem final : public moo::Problem {
     return prescreen_.load(std::memory_order_relaxed);
   }
 
-  /// Vetoes memoization of limit-cycle averages: an oscillatory candidate
-  /// never enters the warm pool, so its repeat re-runs the solve ladder —
-  /// and may answer differently as the pool snapshot evolves.  Steady roots
-  /// are pooled and reproduced bitwise by the exact-key short circuit, so
-  /// only those are memoizable.  (Per-thread state, read by the caching
-  /// decorator straight after evaluate() on the same thread.)
+  /// Vetoes memoization of limit-cycle averages: a repeat of an oscillatory
+  /// candidate re-runs the solve ladder, and only LIVING cycles are backed
+  /// by the pool's exact-key short circuit (dead cycles re-shoot, and a
+  /// pool-evicted anchor falls back to the windowed average) — so repeats
+  /// are not bitwise-guaranteed and the veto stays conservative.  Steady
+  /// roots are pooled and reproduced bitwise, so only those are memoizable.
+  /// (Per-thread state, read by the caching decorator straight after
+  /// evaluate() on the same thread.)
   [[nodiscard]] bool last_result_memoizable() const override;
 
   [[nodiscard]] const C3Model& model() const { return *model_; }
@@ -106,6 +113,7 @@ class PhotosynthesisProblem final : public moo::Problem {
   double min_uptake_;
   double prescreen_margin_;
   double prescreen_radius2_;
+  double cycle_prescreen_radius2_;
   /// Runtime prescreen switch; mutable+atomic because toggling it (and the
   /// counters below) is instrumentation, not an observable result change —
   /// evaluate() stays const and concurrency-safe.

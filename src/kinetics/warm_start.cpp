@@ -22,6 +22,15 @@ bool WarmStartPool::nearest(std::span<const double> key, num::Vec& start) const 
 }
 
 WarmStartPool::Hit WarmStartPool::nearest_entry(std::span<const double> key) const {
+  return nearest_matching(key, /*want_cycle=*/false);
+}
+
+WarmStartPool::Hit WarmStartPool::nearest_cycle(std::span<const double> key) const {
+  return nearest_matching(key, /*want_cycle=*/true);
+}
+
+WarmStartPool::Hit WarmStartPool::nearest_matching(std::span<const double> key,
+                                                   bool want_cycle) const {
   std::shared_ptr<const Snapshot> snap;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -30,15 +39,17 @@ WarmStartPool::Hit WarmStartPool::nearest_entry(std::span<const double> key) con
   Hit hit;
   if (!snap || snap->empty()) return hit;
 
-  std::size_t best = 0;
-  double best_d2 = num::dist2((*snap)[0]->key, key);
-  for (std::size_t i = 1; i < snap->size(); ++i) {
+  std::size_t best = snap->size();
+  double best_d2 = 0.0;
+  for (std::size_t i = 0; i < snap->size(); ++i) {
+    if ((*snap)[i]->cycle != want_cycle) continue;
     const double d2 = num::dist2((*snap)[i]->key, key);
-    if (d2 < best_d2) {  // strict: ties keep the lowest index
+    if (best == snap->size() || d2 < best_d2) {  // strict: ties keep the lowest index
       best_d2 = d2;
       best = i;
     }
   }
+  if (best == snap->size()) return hit;
   hit.pin = (*snap)[best];
   hit.entry = hit.pin.get();
   return hit;
@@ -51,6 +62,23 @@ void WarmStartPool::record(std::span<const double> key,
   e->key.assign(key.begin(), key.end());
   e->state.assign(state.begin(), state.end());
   e->root_cache = std::make_shared<RootCache>();
+  const std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(e));
+}
+
+void WarmStartPool::record_cycle(std::span<const double> key,
+                                 std::span<const double> average_state,
+                                 std::span<const double> cycle_point,
+                                 double period, double mean_uptake) {
+  if (capacity_ == 0) return;
+  auto e = std::make_shared<Entry>();
+  e->key.assign(key.begin(), key.end());
+  e->state.assign(average_state.begin(), average_state.end());
+  e->root_cache = std::make_shared<RootCache>();
+  e->cycle = true;
+  e->period = period;
+  e->cycle_point.assign(cycle_point.begin(), cycle_point.end());
+  e->mean_uptake = mean_uptake;
   const std::lock_guard<std::mutex> lock(mu_);
   pending_.push_back(std::move(e));
 }
@@ -98,6 +126,19 @@ void WarmStartPool::clear() {
 std::size_t WarmStartPool::snapshot_size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return snapshot_ ? snapshot_->size() : 0;
+}
+
+std::size_t WarmStartPool::snapshot_cycle_count() const {
+  std::shared_ptr<const Snapshot> snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap = snapshot_;
+  }
+  if (!snap) return 0;
+  std::size_t n = 0;
+  for (const auto& e : *snap)
+    if (e->cycle) ++n;
+  return n;
 }
 
 std::size_t WarmStartPool::pending_size() const {

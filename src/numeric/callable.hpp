@@ -1,0 +1,77 @@
+// Non-owning callable reference — the solver-facing replacement for
+// std::function in the kinetic hot path.
+//
+// FunctionRef<R(Args...)> is two words: a context pointer and a plain
+// function pointer.  Invoking it is one indirect call — no virtual
+// dispatch through a type-erased heap object, no allocation, no atomic
+// refcount — which matters because the Newton/PTC/Rosenbrock cores call
+// the RHS and Jacobian callbacks millions of times per optimizer run.
+//
+// Lifetime contract: FunctionRef does NOT extend the referee's lifetime.
+// Passing a lambda temporary directly as a *function argument* is safe
+// (the temporary lives for the full call).  Storing a FunctionRef beyond
+// the current statement (options structs, members) requires the callable
+// to be an lvalue that outlives the store — name the lambda first.
+// Exception: captureless (empty) callables are rebuilt from scratch at
+// every invocation, so even a dangling reference to one is safe; the
+// converting constructor detects this statically and stores no pointer.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rmp::num {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_reference_t<F>;
+    if constexpr (std::is_empty_v<Fn> && std::is_default_constructible_v<Fn>) {
+      // Captureless lambda / stateless functor: no state to reference, so
+      // the thunk default-constructs its own instance and never touches
+      // obj_.  Immune to dangling by construction.
+      obj_ = nullptr;
+      call_ = [](void*, Args... args) -> R {
+        return Fn{}(std::forward<Args>(args)...);
+      };
+    } else if constexpr (std::is_pointer_v<std::decay_t<Fn>> &&
+                         std::is_function_v<
+                             std::remove_pointer_t<std::decay_t<Fn>>>) {
+      // Free function (or pointer to one): store the function address
+      // itself, not the address of a pointer temporary.
+      obj_ = reinterpret_cast<void*>(static_cast<std::decay_t<Fn>>(f));
+      call_ = [](void* o, Args... args) -> R {
+        return reinterpret_cast<std::decay_t<Fn>>(o)(
+            std::forward<Args>(args)...);
+      };
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      call_ = [](void* o, Args... args) -> R {
+        return (*static_cast<Fn*>(o))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace rmp::num

@@ -76,45 +76,58 @@ double Matrix::frobenius_norm() const {
 
 std::optional<LuFactorization> LuFactorization::compute(const Matrix& a,
                                                         double pivot_tol) {
+  LuFactorization f;
+  if (!f.factor(a, pivot_tol)) return std::nullopt;
+  return f;
+}
+
+bool LuFactorization::factor(const Matrix& a, double pivot_tol) {
   assert(a.rows() == a.cols());
   const std::size_t n = a.rows();
-  LuFactorization f;
-  f.lu_ = a;
-  f.perm_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) f.perm_[i] = i;
+  lu_ = a;  // vector copy-assignment: reuses capacity once warmed up
+  perm_.resize(n);
+  sign_ = 1;
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: pick the largest magnitude entry in column k.
     std::size_t piv = k;
-    double best = std::fabs(f.lu_(k, k));
+    double best = std::fabs(lu_(k, k));
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double v = std::fabs(f.lu_(r, k));
+      const double v = std::fabs(lu_(r, k));
       if (v > best) {
         best = v;
         piv = r;
       }
     }
-    if (best <= pivot_tol) return std::nullopt;
+    if (best <= pivot_tol) return false;
     if (piv != k) {
-      for (std::size_t c = 0; c < n; ++c) std::swap(f.lu_(k, c), f.lu_(piv, c));
-      std::swap(f.perm_[k], f.perm_[piv]);
-      f.sign_ = -f.sign_;
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
     }
-    const double inv_piv = 1.0 / f.lu_(k, k);
+    const double inv_piv = 1.0 / lu_(k, k);
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double m = f.lu_(r, k) * inv_piv;
-      f.lu_(r, k) = m;
+      const double m = lu_(r, k) * inv_piv;
+      lu_(r, k) = m;
       if (m == 0.0) continue;
-      for (std::size_t c = k + 1; c < n; ++c) f.lu_(r, c) -= m * f.lu_(k, c);
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
     }
   }
-  return f;
+  return true;
 }
 
 Vec LuFactorization::solve(std::span<const double> b) const {
+  Vec x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuFactorization::solve_into(std::span<const double> b, Vec& x) const {
   const std::size_t n = size();
   assert(b.size() == n);
-  Vec x(n);
+  assert(x.data() != b.data());
+  x.resize(n);
   // Apply permutation and forward-substitute L (unit diagonal).
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[perm_[i]];
@@ -127,7 +140,6 @@ Vec LuFactorization::solve(std::span<const double> b) const {
     for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
     x[ii] = acc / lu_(ii, ii);
   }
-  return x;
 }
 
 double LuFactorization::determinant() const {

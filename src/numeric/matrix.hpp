@@ -40,6 +40,14 @@ class Matrix {
   [[nodiscard]] const Vec& data() const { return data_; }
   [[nodiscard]] Vec& data() { return data_; }
 
+  /// Re-shape in place to rows x cols, zero-filled.  Reuses the existing
+  /// storage when capacity suffices — the workspace arena's resize path.
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   /// Identity matrix of size n.
   [[nodiscard]] static Matrix identity(std::size_t n);
 
@@ -74,8 +82,18 @@ class LuFactorization {
   [[nodiscard]] static std::optional<LuFactorization> compute(const Matrix& a,
                                                               double pivot_tol = 1e-12);
 
+  /// In-place refactor reusing this object's storage (allocation-free once
+  /// warmed to the problem size).  Returns false when `a` is numerically
+  /// singular relative to `pivot_tol`; the factorization is then invalid
+  /// until the next successful factor()/compute().
+  bool factor(const Matrix& a, double pivot_tol = 1e-12);
+
   /// Solves A x = b.
   [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+  /// Solves A x = b into a caller-owned buffer (resized to n; reuses
+  /// capacity).  `x` must not alias `b`.
+  void solve_into(std::span<const double> b, Vec& x) const;
 
   /// Determinant of the factored matrix.
   [[nodiscard]] double determinant() const;

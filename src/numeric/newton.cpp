@@ -4,36 +4,39 @@
 #include <cmath>
 #include <limits>
 
+#include "numeric/workspace.hpp"
+
 namespace rmp::num {
 
 namespace {
 
-/// Builds dF/dx at x — through the analytic callback when provided, by
-/// forward finite differences otherwise — and counts the work in
+/// Builds dF/dx at x into `j` — through the analytic callback when provided,
+/// by forward finite differences otherwise — and counts the work in
 /// `rhs_evaluations` (FD only) / the caller's factorization counter.
-Matrix build_jacobian(const NonlinearSystem& f, const JacobianFn& jac_fn,
-                      std::span<const double> x, const Vec& fx, double eps,
-                      std::size_t& rhs_evaluations) {
+/// Scratch comes from `ws`; nothing is allocated once the arena is warm.
+void build_jacobian(NonlinearSystem f, JacobianFn jac_fn,
+                    std::span<const double> x, const Vec& fx, double eps,
+                    Workspace& ws, Matrix& j, std::size_t& rhs_evaluations) {
   const std::size_t n = x.size();
-  Matrix j(n, n);
   if (jac_fn) {
+    std::fill(j.data().begin(), j.data().end(), 0.0);
     jac_fn(x, j);
-    return j;
+    return;
   }
-  Vec xp(x.begin(), x.end());
-  Vec fp(n);
+  ScratchVec xp(ws, n);
+  ScratchVec fp(ws, n);
+  xp.get().assign(x.begin(), x.end());
   for (std::size_t c = 0; c < n; ++c) {
     const double h = eps * std::max(1.0, std::fabs(x[c]));
     const double saved = xp[c];
     xp[c] = saved + h;
-    fp.assign(n, 0.0);
-    f(xp, fp);
+    fp.get().assign(n, 0.0);
+    f(xp, fp.get());
     ++rhs_evaluations;
     xp[c] = saved;
     const double inv_h = 1.0 / h;
     for (std::size_t r = 0; r < n; ++r) j(r, c) = (fp[r] - fx[r]) * inv_h;
   }
-  return j;
 }
 
 void floor_state(Vec& x, double floor) {
@@ -50,9 +53,14 @@ NewtonResult solve_newton(const NonlinearSystem& f, std::span<const double> x0,
   floor_state(res.x, opts.state_floor);
   const std::size_t n = res.x.size();
   const std::size_t max_age = std::max<std::size_t>(opts.chord_max_age, 1);
+  Workspace& ws =
+      opts.workspace ? *opts.workspace : Workspace::thread_local_instance();
 
-  Vec fx(n), trial(n), ftrial(n);
-  f(res.x, fx);
+  ScratchVec fx(ws, n), trial(ws, n), ftrial(ws, n), step(ws, n);
+  ScratchMat j(ws, n, n);
+  ScratchLu lu_slot(ws);
+  fx.get().assign(n, 0.0);
+  f(res.x, fx.get());
   ++res.rhs_evaluations;
   res.residual_norm = norm_inf(fx);
 
@@ -62,8 +70,8 @@ NewtonResult solve_newton(const NonlinearSystem& f, std::span<const double> x0,
   // it is the same iteration, retried — so chord mode never rejects (or
   // times out on) a problem classic Newton would solve; the extra work is
   // bounded by one uncounted retry per counted iteration.
-  std::optional<LuFactorization> lu;
-  // The factorization in use: `lu` once anything was built, else the
+  bool have_lu = false;
+  // The factorization in use: `lu_slot` once anything was built, else the
   // caller's warm seed (borrowed, never copied).  The seed counts as stale
   // (fresh stays false on its passes), so the chord discard bar guards it
   // and one refresh falls back to a built Jacobian.
@@ -79,19 +87,20 @@ NewtonResult solve_newton(const NonlinearSystem& f, std::span<const double> x0,
       res.converged = true;
       return res;
     }
-    const bool fresh = refresh || (!lu && seed == nullptr) || lu_age >= max_age;
+    const bool fresh =
+        refresh || (!have_lu && seed == nullptr) || lu_age >= max_age;
     if (fresh) {
-      const Matrix j = build_jacobian(f, opts.jacobian, res.x, fx,
-                                      opts.jacobian_eps, res.rhs_evaluations);
+      build_jacobian(f, opts.jacobian, res.x, fx.get(), opts.jacobian_eps, ws,
+                     j.get(), res.rhs_evaluations);
       ++res.jacobian_factorizations;
-      lu = LuFactorization::compute(j);
-      if (!lu) return res;  // singular Jacobian: give up, caller falls back
+      have_lu = lu_slot.get().factor(j.get());
+      if (!have_lu) return res;  // singular Jacobian: give up, caller falls back
       seed = nullptr;
       lu_age = 0;
       refresh = false;
     }
-    const LuFactorization& active = lu ? *lu : *seed;
-    const Vec step = active.solve(fx);
+    const LuFactorization& active = have_lu ? lu_slot.get() : *seed;
+    active.solve_into(fx, step.get());
     if (!all_finite(step)) {
       if (!fresh) {
         refresh = true;  // stale direction blew up — retry with a fresh J
@@ -106,11 +115,11 @@ NewtonResult solve_newton(const NonlinearSystem& f, std::span<const double> x0,
     double found_norm = 0.0;
     const double previous_norm = res.residual_norm;
     for (double damping = 1.0; damping >= opts.min_damping; damping *= 0.5) {
-      trial = res.x;
-      axpy(trial, -damping, step);
-      floor_state(trial, opts.state_floor);
-      ftrial.assign(n, 0.0);
-      f(trial, ftrial);
+      trial.get() = res.x;
+      axpy(trial.get(), -damping, step.get());
+      floor_state(trial.get(), opts.state_floor);
+      ftrial.get().assign(n, 0.0);
+      f(trial, ftrial.get());
       ++res.rhs_evaluations;
       if (!all_finite(ftrial)) continue;
       const double norm = norm_inf(ftrial);
@@ -139,8 +148,8 @@ NewtonResult solve_newton(const NonlinearSystem& f, std::span<const double> x0,
       refresh = true;
       continue;
     }
-    res.x = trial;
-    fx = ftrial;
+    res.x = trial.get();
+    fx.get() = ftrial.get();
     res.residual_norm = found_norm;
     ++res.iterations;
     ++lu_age;
@@ -164,9 +173,14 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
   const std::size_t n = res.x.size();
   const std::size_t max_age = std::max<std::size_t>(opts.chord_max_age, 1);
   const double h_band = std::max(opts.chord_h_band, 1.0);
+  Workspace& ws =
+      opts.workspace ? *opts.workspace : Workspace::thread_local_instance();
 
-  Vec fx(n), trial(n), ftrial(n);
-  f(res.x, fx);
+  ScratchVec fx(ws, n), trial(ws, n), ftrial(ws, n), step(ws, n), best_x(ws, n);
+  ScratchMat w(ws, n, n);
+  ScratchLu lu_slot(ws);
+  fx.get().assign(n, 0.0);
+  f(res.x, fx.get());
   ++res.rhs_evaluations;
   res.residual_norm = norm_inf(fx);
   const double initial_norm = std::max(res.residual_norm, 1e-300);
@@ -176,7 +190,7 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
   // the residual is NOT required to fall monotonically: every finite step is
   // accepted and h follows the switched-evolution-relaxation rule
   // h_k = h_0 * ||F_0|| / ||F_k||.  The best iterate seen is what's returned.
-  Vec best_x = res.x;
+  best_x.get() = res.x;
   double best_norm = res.residual_norm;
   double current_norm = res.residual_norm;
 
@@ -184,7 +198,7 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
   // residual keeps falling and the SER timestep stays inside the band.  As
   // in solve_newton, a failed STALE step is re-done fresh without consuming
   // iteration budget.
-  std::optional<LuFactorization> lu;
+  bool have_lu = false;
   double h_factored = h;
   std::size_t lu_age = 0;
   bool refresh = true;
@@ -194,32 +208,32 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
 
     const bool in_band =
         h >= h_factored / h_band && h <= h_factored * h_band;
-    const bool fresh = refresh || !lu || lu_age >= max_age || !in_band;
+    const bool fresh = refresh || !have_lu || lu_age >= max_age || !in_band;
     if (fresh) {
       // W = I/h - J; the step solves W dx = F (implicit Euler for x' = F).
-      Matrix w = build_jacobian(f, opts.jacobian, res.x, fx, opts.jacobian_eps,
-                                res.rhs_evaluations);
+      build_jacobian(f, opts.jacobian, res.x, fx.get(), opts.jacobian_eps, ws,
+                     w.get(), res.rhs_evaluations);
       const double inv_h = 1.0 / h;
       for (std::size_t r = 0; r < n; ++r) {
         for (std::size_t c = 0; c < n; ++c) w(r, c) = -w(r, c);
         w(r, r) += inv_h;
       }
       ++res.jacobian_factorizations;
-      lu = LuFactorization::compute(w);
+      have_lu = lu_slot.get().factor(w.get());
       h_factored = h;
       lu_age = 0;
       refresh = false;
     }
-    bool ok = lu.has_value();
+    bool ok = have_lu;
     if (ok) {
-      const Vec step = lu->solve(fx);
+      lu_slot.get().solve_into(fx, step.get());
       ok = all_finite(step);
       if (ok) {
-        trial = res.x;
-        add_inplace(trial, step);
-        floor_state(trial, opts.state_floor);
-        ftrial.assign(n, 0.0);
-        f(trial, ftrial);
+        trial.get() = res.x;
+        add_inplace(trial.get(), step.get());
+        floor_state(trial.get(), opts.state_floor);
+        ftrial.get().assign(n, 0.0);
+        f(trial, ftrial.get());
         ++res.rhs_evaluations;
         ok = all_finite(ftrial);
       }
@@ -229,7 +243,7 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
         refresh = true;  // stale W produced garbage — free rebuild at the same h
         continue;
       }
-      lu.reset();
+      have_lu = false;
       h *= 0.25;
       ++res.iterations;  // fresh-step failures consume budget, as classic PTC
       if (h < 1e-14) break;
@@ -237,8 +251,8 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
     }
 
     const double previous_norm = current_norm;
-    res.x = trial;
-    fx = ftrial;
+    res.x = trial.get();
+    fx.get() = ftrial.get();
     current_norm = norm_inf(fx);
     ++res.iterations;
     ++lu_age;
@@ -248,14 +262,14 @@ NewtonResult solve_pseudo_transient(const NonlinearSystem& f,
     if (!fresh && current_norm > previous_norm) refresh = true;
     if (current_norm < best_norm) {
       best_norm = current_norm;
-      best_x = res.x;
+      best_x.get() = res.x;
     }
     h = std::clamp(opts.initial_timestep * initial_norm /
                        std::max(current_norm, 1e-300),
                    1e-12, opts.max_timestep);
   }
 
-  res.x = std::move(best_x);
+  res.x = best_x.get();
   res.residual_norm = best_norm;
   res.converged = best_norm <= opts.tolerance;
   return res;

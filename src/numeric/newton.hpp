@@ -20,20 +20,26 @@
 // measure the work saved, not just the wall time.
 #pragma once
 
-#include <functional>
 #include <span>
 
+#include "numeric/callable.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/vec.hpp"
 
 namespace rmp::num {
 
+class Workspace;
+
 /// System callback: fills out = F(x); out pre-sized to x.size().
-using NonlinearSystem = std::function<void(std::span<const double> x, Vec& out)>;
+/// Non-owning (FunctionRef) — when storing one in an options struct, the
+/// callable must be a named lvalue that outlives the solve (captureless
+/// lambdas excepted; see callable.hpp).
+using NonlinearSystem = FunctionRef<void(std::span<const double> x, Vec& out)>;
 
 /// Analytic Jacobian callback: fills jac(r, c) = dF_r/dx_c at x; jac arrives
-/// pre-sized to n x n and zeroed.
-using JacobianFn = std::function<void(std::span<const double> x, Matrix& jac)>;
+/// pre-sized to n x n and zeroed.  Non-owning, same lifetime contract as
+/// NonlinearSystem.
+using JacobianFn = FunctionRef<void(std::span<const double> x, Matrix& jac)>;
 
 struct NewtonOptions {
   std::size_t max_iterations = 60;
@@ -65,6 +71,11 @@ struct NewtonOptions {
   /// a fresh factorization the moment it underperforms.  Only consulted
   /// when chord_max_age > 1; not owned.
   const LuFactorization* warm_lu = nullptr;
+  /// Scratch arena for every internal buffer (iterates, trial states,
+  /// Jacobians, LU storage).  Null = a thread_local fallback arena; either
+  /// way the solve allocates nothing per iteration once the arena is warm.
+  /// Not owned; must not be shared across threads.
+  Workspace* workspace = nullptr;
 };
 
 struct NewtonResult {
@@ -103,6 +114,8 @@ struct PtcOptions {
   /// Band (as a ratio >= 1) the SER timestep may drift from the factored h
   /// before W must be rebuilt.
   double chord_h_band = 4.0;
+  /// Scratch arena (see NewtonOptions::workspace).
+  Workspace* workspace = nullptr;
 };
 
 /// Pseudo-transient continuation (switched evolution relaxation): damped

@@ -7,22 +7,31 @@
 //   * Cash-Karp 4(5) and Dormand-Prince 5(4) embedded adaptive pairs,
 //   * a 2nd-order Rosenbrock-W method (linearly implicit, numeric Jacobian)
 //     for stiff transients,
+//   * a 3rd-order L-stable Rosenbrock method with an embedded 2nd-order
+//     error estimate (2 RHS evaluations + 1 factorization per step) — the
+//     kinetic limit-cycle integration path,
 //   * implicit Euler with damped Newton for very stiff relaxation runs.
 // `integrate_to_steady_state` drives any stepper until the time-derivative
 // norm falls under a threshold — the per-candidate evaluation used by the
 // photosynthesis optimization when the Newton steady-state solve fails.
 #pragma once
 
-#include <functional>
 #include <span>
 
+#include "numeric/callable.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/vec.hpp"
 
 namespace rmp::num {
 
-/// Right-hand side f(t, y) -> dydt; must not resize dydt (pre-sized to y.size()).
-using OdeRhs = std::function<void(double t, std::span<const double> y, Vec& dydt)>;
+class Workspace;
+
+/// Right-hand side f(t, y) -> dydt; must not resize dydt (pre-sized to
+/// y.size()).  Non-owning (FunctionRef): when stored beyond a call, the
+/// callable must be a named lvalue that outlives the store (captureless
+/// lambdas excepted; see callable.hpp).
+using OdeRhs =
+    FunctionRef<void(double t, std::span<const double> y, Vec& dydt)>;
 
 /// Analytic Jacobian df/dy at (t, y); jac arrives pre-sized n x n and
 /// zeroed.  Consumed by the linearly implicit methods (Rosenbrock-W,
@@ -32,13 +41,22 @@ using OdeRhs = std::function<void(double t, std::span<const double> y, Vec& dydt
 /// because both consumers are W-methods: an inexact Jacobian costs step
 /// size, never correctness.
 using OdeJacobian =
-    std::function<void(double t, std::span<const double> y, Matrix& jac)>;
+    FunctionRef<void(double t, std::span<const double> y, Matrix& jac)>;
+
+/// Observer invoked after every ACCEPTED step with (t_new, h_used, y_new);
+/// y spans the USER state (the linearly implicit methods strip their
+/// internal time augmentation first).  Rejected trials are never reported.
+/// The shooting solver rides this hook to propagate the variational
+/// (monodromy) system alongside a flight; unset costs nothing.
+using OdeStepObserver =
+    FunctionRef<void(double t, double h, std::span<const double> y)>;
 
 enum class OdeMethod {
   kRk4,             ///< classic fixed-step 4th order
   kCashKarp45,      ///< adaptive embedded 4(5)
   kDormandPrince54, ///< adaptive embedded 5(4)
   kRosenbrockW,     ///< linearly implicit order 2, for stiff systems
+  kRosenbrock3,     ///< linearly implicit order 3(2), L-stable; cycle path
   kImplicitEuler,   ///< backward Euler + damped Newton, very stiff systems
 };
 
@@ -56,6 +74,12 @@ struct OdeOptions {
   /// Closed-form Jacobian for the implicit methods; null = finite
   /// differences (see OdeJacobian).
   OdeJacobian jacobian;
+  /// Per-accepted-step hook (see OdeStepObserver); null = no reporting.
+  OdeStepObserver step_observer;
+  /// Scratch arena for stage vectors, Jacobians and LU storage.  Null = a
+  /// thread_local fallback arena; either way the integrators allocate
+  /// nothing per step once the arena is warm.  Not owned; single-threaded.
+  Workspace* workspace = nullptr;
 };
 
 struct OdeResult {

@@ -1,0 +1,44 @@
+#include "numeric/workspace.hpp"
+
+namespace rmp::num {
+
+Workspace& Workspace::thread_local_instance() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Vec& Workspace::push_vec(std::size_t n) {
+  Vec& v = push(vec_pool_, vec_top_);
+  if (n > v.capacity()) ++allocation_events_;
+  v.resize(n);
+  return v;
+}
+
+void Workspace::pop_vec(const Vec& v) {
+  assert(vec_top_ > 0 && vec_pool_[vec_top_ - 1].get() == &v);
+  (void)v;
+  --vec_top_;
+}
+
+Matrix& Workspace::push_mat(std::size_t rows, std::size_t cols) {
+  Matrix& m = push(mat_pool_, mat_top_);
+  if (rows * cols > m.data().capacity()) ++allocation_events_;
+  m.reshape(rows, cols);
+  return m;
+}
+
+void Workspace::pop_mat(const Matrix& m) {
+  assert(mat_top_ > 0 && mat_pool_[mat_top_ - 1].get() == &m);
+  (void)m;
+  --mat_top_;
+}
+
+LuFactorization& Workspace::push_lu() { return push(lu_pool_, lu_top_); }
+
+void Workspace::pop_lu(const LuFactorization& lu) {
+  assert(lu_top_ > 0 && lu_pool_[lu_top_ - 1].get() == &lu);
+  (void)lu;
+  --lu_top_;
+}
+
+}  // namespace rmp::num

@@ -229,9 +229,12 @@ class NewtonCubeRoot : public ::testing::TestWithParam<double> {};
 
 TEST_P(NewtonCubeRoot, Converges) {
   const double c = GetParam();
-  const NonlinearSystem f = [c](std::span<const double> x, Vec& out) {
+  // Capturing lambda: must be a named local — NonlinearSystem is a
+  // non-owning FunctionRef and would dangle on a temporary.
+  const auto cube = [c](std::span<const double> x, Vec& out) {
     out[0] = x[0] * x[0] * x[0] - c;
   };
+  const NonlinearSystem f = cube;
   const NewtonResult r = solve_newton(f, Vec{10.0});
   ASSERT_TRUE(r.converged) << "c = " << c;
   EXPECT_NEAR(r.x[0], std::cbrt(c), 1e-6);

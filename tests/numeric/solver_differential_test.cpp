@@ -1,0 +1,191 @@
+// Differential harness: the v2 kinetic solve path (shooting limit-cycle
+// solver, workspace-backed cores) against the PR-5 reference path (windowed
+// long-integration cycle averages), over a randomized candidate stream with
+// the same drift-toward-the-Hopf-shell shape the kinetics bench replays.
+//
+// Contracts (ISSUE acceptance: "zero settled-candidate disagreements and
+// zero unsound cycle classifications"):
+//   * candidates the reference engine settles by Newton are settled by v2
+//     with BITWISE-identical state and uptake (the root path is untouched by
+//     the shooting feature, and the root pools evolve identically);
+//   * no candidate converged by the reference is lost by v2; the only
+//     permitted asymmetry is v2 converging an oscillatory candidate the
+//     windowed reference gave up on (an improvement, counted not failed);
+//   * when both classify a candidate oscillatory, the shooting cycle
+//     average matches the windowed long-integration average within a
+//     documented bound.  Two effects separate the means.  (1) The window
+//     holds a non-integer number of periods, so it differs from a true
+//     cycle mean by O(amplitude * T / window) — order 0.5 here (T <~ 60,
+//     window = 400, amplitudes up to ~10 mmol/l).  (2) The C3 oscillatory
+//     shell is a drifting FAMILY of pseudo-cycles, not an isolated orbit:
+//     serine accumulates as a near-conserved photorespiratory pool (its
+//     concentration sits near 1.4e3 mmol/l and climbs a few mmol/l per
+//     period), so the one-period shooting snapshot and the 400-unit window
+//     mean sample that migration at different effective times.  The
+//     absolute bound therefore carries a relative term, sized for the
+//     drifting pool: 1.5% covers the observed worst case (~0.7%) twice
+//     over while still failing loudly on any genuine disagreement;
+//   * an exact repeat of a pooled LIVING cycle is answered by the pool
+//     bitwise (the cycle analogue of the root exact-hit contract).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "kinetics/c3model.hpp"
+#include "moo/evalcache.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/vec.hpp"
+
+namespace rmp::kinetics {
+namespace {
+
+constexpr double kCycleUptakeBound = 1.0;   // umol m^-2 s^-1
+constexpr double kCycleStateBound = 1.0;    // mmol/l, per metabolite
+constexpr double kCycleStateRelBound = 0.015;  // drifting-pool term
+
+/// The bench's drifting stream, scaled down: generations track from the
+/// natural partition toward an up-regulated Calvin mix whose tail sits in
+/// the model's Hopf (oscillatory) shell.
+std::vector<num::Vec> make_stream(std::size_t generations, std::size_t batch,
+                                  std::uint64_t seed) {
+  num::Rng rng(seed);
+  num::Vec target(kNumEnzymes, 1.0);
+  for (std::size_t e = 0; e < kNumEnzymes; ++e) {
+    target[e] = 1.2 + 0.08 * static_cast<double>(e % 5);
+  }
+  target[kRubisco] = 2.6;
+  target[kSbpase] = 2.8;
+  target[kPrk] = 2.0;
+  target[kFbpase] = 2.2;
+  std::vector<num::Vec> stream;
+  stream.reserve(generations * batch);
+  for (std::size_t g = 0; g < generations; ++g) {
+    const double a =
+        generations > 1
+            ? static_cast<double>(g) / static_cast<double>(generations - 1)
+            : 1.0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      num::Vec mult(kNumEnzymes);
+      for (std::size_t e = 0; e < kNumEnzymes; ++e) {
+        const double center = 1.0 + a * (target[e] - 1.0);
+        mult[e] = std::clamp(center * (1.0 + rng.normal(0.0, 0.05)), 0.02, 5.0);
+      }
+      stream.push_back(std::move(mult));
+    }
+  }
+  return stream;
+}
+
+C3Config engine_config(bool shooting) {
+  C3Config cfg;
+  cfg.cycle_shooting = shooting;
+  // Eviction-free pools: with eviction, root snapshots could diverge between
+  // the two models (cycle anchors compete for capacity in the v2 pool) and
+  // the settled-path bitwise comparison would turn into a tolerance one.
+  cfg.warm_pool_capacity = 4096;
+  return cfg;
+}
+
+TEST(SolverDifferentialTest, V2AgreesWithReferenceOverRandomStream) {
+  const C3Model v2(engine_config(/*shooting=*/true));
+  const C3Model ref(engine_config(/*shooting=*/false));
+  const auto stream = make_stream(10, 12, 20260808);
+
+  std::size_t settled = 0, oscillatory = 0, improved = 0, shooting_used = 0;
+  for (const num::Vec& mult : stream) {
+    const SteadyState a = v2.steady_state(mult);
+    const SteadyState b = ref.steady_state(mult);
+
+    if (b.converged) {
+      // v2 must never lose a candidate the reference resolves.
+      ASSERT_TRUE(a.converged) << "v2 lost a reference-converged candidate";
+      EXPECT_EQ(a.oscillatory, b.oscillatory) << "classification flipped";
+    } else if (a.converged) {
+      // The one permitted asymmetry: shooting converging a cycle the
+      // windowed reference gave up on.
+      EXPECT_TRUE(a.oscillatory);
+      ++improved;
+      continue;
+    }
+    if (!a.converged || !b.converged) continue;
+
+    if (!a.oscillatory && !b.oscillatory) {
+      ++settled;
+      // Settled candidates ride the identical Newton/PTC path over
+      // identical root-pool snapshots: bitwise or bust.
+      EXPECT_TRUE(moo::bitwise_equal(a.state, b.state));
+      EXPECT_EQ(a.co2_uptake, b.co2_uptake);
+      EXPECT_EQ(a.residual, b.residual);
+    } else if (a.oscillatory && b.oscillatory) {
+      ++oscillatory;
+      shooting_used += a.used_shooting;
+      if (a.used_shooting) {
+        EXPECT_GT(a.cycle_period, 0.0);
+      }
+      EXPECT_NEAR(a.co2_uptake, b.co2_uptake, kCycleUptakeBound);
+      ASSERT_EQ(a.state.size(), b.state.size());
+      for (std::size_t i = 0; i < a.state.size(); ++i) {
+        const double bound =
+            std::max(kCycleStateBound,
+                     kCycleStateRelBound * std::fabs(b.state[i]));
+        EXPECT_NEAR(a.state[i], b.state[i], bound) << "i=" << i;
+      }
+    }
+  }
+
+  // The stream must actually exercise both paths, or the harness is
+  // vacuous.  The drift is calibrated to leave a minority of candidates in
+  // the oscillatory shell (like the kinetics bench).
+  EXPECT_GT(settled, stream.size() / 2);
+  EXPECT_GT(oscillatory + improved, 0u);
+  // The v2 engine must resolve at least part of the cycle tail by shooting
+  // (give-ups fall back to the window, so equality with `oscillatory` is
+  // not required).
+  EXPECT_GT(shooting_used + improved, 0u);
+}
+
+TEST(SolverDifferentialTest, ExactRepeatOfALivingCycleIsAnsweredBitwise) {
+  const C3Model model(engine_config(/*shooting=*/true));
+  const auto stream = make_stream(10, 12, 20260808);
+
+  for (const num::Vec& mult : stream) {
+    const SteadyState first = model.steady_state(mult);
+    if (!(first.converged && first.oscillatory && first.used_shooting &&
+          first.co2_uptake > 0.5)) {
+      continue;
+    }
+    const SteadyState repeat = model.steady_state(mult);
+    EXPECT_TRUE(repeat.converged);
+    EXPECT_TRUE(repeat.oscillatory);
+    EXPECT_TRUE(repeat.pool_exact_hit);
+    EXPECT_EQ(repeat.co2_uptake, first.co2_uptake);
+    EXPECT_EQ(repeat.cycle_period, first.cycle_period);
+    EXPECT_TRUE(moo::bitwise_equal(repeat.state, first.state));
+    return;  // one living cycle proves the contract
+  }
+  GTEST_SKIP() << "stream produced no living cycles on this seed";
+}
+
+TEST(SolverDifferentialTest, ShootingKnobNeverChangesSettledAnswers) {
+  // A short all-settled prefix (the early, near-natural generations):
+  // engine v1 vs v2 must agree bitwise candidate for candidate, proving
+  // the knob only touches the oscillatory tail.
+  const C3Model v2(engine_config(true));
+  const C3Model ref(engine_config(false));
+  const auto stream = make_stream(3, 8, 7);
+  for (const num::Vec& mult : stream) {
+    const SteadyState a = v2.steady_state(mult);
+    const SteadyState b = ref.steady_state(mult);
+    ASSERT_EQ(a.converged, b.converged);
+    ASSERT_EQ(a.oscillatory, b.oscillatory);
+    if (a.converged && !a.oscillatory) {
+      EXPECT_TRUE(moo::bitwise_equal(a.state, b.state));
+      EXPECT_EQ(a.co2_uptake, b.co2_uptake);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmp::kinetics
