@@ -1,14 +1,39 @@
 #!/usr/bin/env bash
-# CI entry point: configure Release with warnings-as-errors on the rmp
-# library targets, build everything, run the full CTest suite (the tier-1
-# verify command), then run the benchmark driver in smoke mode so every CI
-# run prints a BENCH_pmo2.json perf-trajectory record (docs/BENCHMARKS.md).
+# CI entry point: rmp_lint source gates first, then configure Release with
+# warnings-as-errors on the rmp library targets, build everything, run the
+# full CTest suite (the tier-1 verify command), run the benchmark driver in
+# smoke mode so every CI run prints a BENCH_pmo2.json perf-trajectory record
+# (docs/BENCHMARKS.md), and finish with the two sanitizer lanes
+# (ASan+UBSan, then TSan).  ARCHITECTURE.md "Correctness tooling" maps each
+# step to the contract clause it enforces.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-ci}"
 JOBS="${JOBS:-$(nproc)}"
+CXX_FOR_LINT="${CXX:-c++}"
+
+# Determinism-contract source lint, before anything is compiled: the
+# cheapest gate runs first.  The second invocation adds the header
+# self-containment proof (every src/ header compiles as its own TU).
+# Both also run as CTest cases (rmp_lint, rmp_lint_headers) in the Release
+# suite below; running them here keeps the failure mode readable — a lint
+# violation fails in seconds, not after a full build.
+python3 tools/rmp_lint.py --repo .
+python3 tools/rmp_lint.py --repo . --headers --cxx "${CXX_FOR_LINT}"
+
+# Advisory clang-tidy pass (.clang-tidy: bugprone-*, concurrency-*,
+# performance-*).  The pinned CI image is gcc-only, so this is tool-gated
+# and non-fatal: findings print for review but never fail the build —
+# rmp_lint above carries the hard subset.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (advisory) =="
+  find src -name '*.cpp' -print0 \
+    | xargs -0 clang-tidy --quiet -- -std=c++20 -Isrc || true
+else
+  echo "clang-tidy not installed: skipping advisory pass"
+fi
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
@@ -69,6 +94,7 @@ done
 # above.
 SAN_BUILD_DIR="${SAN_BUILD_DIR:-${BUILD_DIR}-asan}"
 SAN_TESTS=(
+  core_parallel_test core_sentinel_test
   moo_archive_test moo_dominance_test moo_moead_test moo_nsga2_test
   moo_operators_test moo_pmo2_test moo_spea2_test moo_testproblems_test
   pareto_coverage_test pareto_front_test pareto_hypervolume_test
@@ -82,16 +108,60 @@ SAN_TESTS=(
   moo_evalcache_test integration_cache_differential_test
   robustness_robustness_test)
 
+# The phase-gate benchmark binaries must at least BUILD under each sanitizer
+# configuration — run_benchmarks.sh itself stays on the Release build, but a
+# bench that no longer compiles with sentinels + sanitizers on is a rotted
+# gate.
+BENCH_GATES=(pmo2_scaling archive_scaling kinetics_scaling eval_cache)
+
+# RMP_BUILD_BENCH=ON explicitly: it overrides the OFF a pre-existing lane
+# directory may still have cached (the bench gates below must build).
 cmake -B "${SAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRMP_SANITIZE=address,undefined \
   -DRMP_BUILD_EXAMPLES=OFF \
-  -DRMP_BUILD_BENCH=OFF \
+  -DRMP_BUILD_BENCH=ON \
   -DRMP_BUILD_TOOLS=OFF
 
-cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" --target "${SAN_TESTS[@]}"
+cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" \
+  --target "${SAN_TESTS[@]}" "${BENCH_GATES[@]}"
 
 for t in "${SAN_TESTS[@]}"; do
   echo "== asan+ubsan: ${t} =="
   "${SAN_BUILD_DIR}/tests/${t}"
+done
+
+# ThreadSanitizer lane over the concurrency-bearing binaries: the island
+# engine + migration topology (moo_pmo2), the epoch-committed caches
+# (moo_evalcache covers EvalCache and CachedProblem, kinetics_warm_start the
+# warm pool), the thread-pool core itself, the sentinel suite, and the two
+# differential harnesses that run cached-vs-plain archipelagos at several
+# thread counts.  RelWithDebInfo: TSan's ~10x slowdown on top of -O0 would
+# blow the CI budget, and the contract being checked (mutex-staged writes,
+# serial-barrier commits) is optimization-independent.  RMP_POOL_WORKERS
+# forces a real worker pool even on single-core CI runners — otherwise the
+# global pool sizes itself to zero workers, every "parallel" region runs
+# inline, and the lane observes no concurrency at all.
+# No suppressions file: a TSan finding is a contract violation to fix, not
+# to annotate away.
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
+TSAN_TESTS=(
+  core_parallel_test core_sentinel_test
+  moo_pmo2_test moo_evalcache_test kinetics_warm_start_test
+  integration_cache_differential_test numeric_solver_differential_test)
+
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRMP_SANITIZE=thread \
+  -DRMP_BUILD_EXAMPLES=OFF \
+  -DRMP_BUILD_BENCH=ON \
+  -DRMP_BUILD_TOOLS=OFF
+
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target "${TSAN_TESTS[@]}" "${BENCH_GATES[@]}"
+
+for t in "${TSAN_TESTS[@]}"; do
+  echo "== tsan: ${t} =="
+  RMP_POOL_WORKERS=3 TSAN_OPTIONS="halt_on_error=1" \
+    "${TSAN_BUILD_DIR}/tests/${t}"
 done

@@ -16,6 +16,9 @@ namespace rmp::api {
 
 namespace {
 
+// Elapsed-seconds is operator-facing progress data only; no optimizer or
+// solver decision reads it.
+// lint: allow(wall-clock) timing-only, feeds RunResult::elapsed_seconds
 using clock = std::chrono::steady_clock;
 
 double seconds_since(clock::time_point start) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -179,8 +180,22 @@ bool in_deterministic_region() { return tls_deterministic_region; }
 bool in_pool_batch() { return tls_inside_batch; }
 
 ThreadPool& global_pool() {
-  // Workers + the participating caller = hardware concurrency.
-  static ThreadPool pool(resolve_threads(0) - 1);
+  // Workers + the participating caller = hardware concurrency, unless
+  // RMP_POOL_WORKERS pins the worker count explicitly.  The override exists
+  // for the sanitizer lanes: a single-core CI machine would otherwise build
+  // a zero-worker pool and run every "parallel" test inline, leaving
+  // ThreadSanitizer nothing to observe.  Results are unaffected either way —
+  // that is the bit-identical-for-any-thread-count contract under test.
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("RMP_POOL_WORKERS")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v <= 256) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    return resolve_threads(0) - 1;
+  }());
   return pool;
 }
 

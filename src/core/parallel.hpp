@@ -76,7 +76,10 @@ class ThreadPool {
 
 /// The process-wide pool shared by all engines, sized so that pool workers
 /// plus a participating caller equal the hardware concurrency.  Created on
-/// first use.
+/// first use.  The RMP_POOL_WORKERS environment variable (read once, at
+/// creation) overrides the worker count — the sanitizer lanes use it to
+/// force real worker threads on single-core CI machines, where the pool
+/// would otherwise have zero workers and every batch would run inline.
 [[nodiscard]] ThreadPool& global_pool();
 
 /// Runs fn(i) for i in [0, n) on up to `n_threads` threads (0 = auto).

@@ -1,0 +1,167 @@
+#include "core/sentinel.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "core/parallel.hpp"
+
+namespace rmp::core {
+namespace {
+
+#if RMP_SENTINELS
+// Plain thread_locals with constant initialization: the hooks run inside
+// operator new, so nothing here may allocate or require a dynamic
+// initializer (which could itself allocate and recurse).
+thread_local std::uint64_t t_alloc_count = 0;
+thread_local const char* t_alloc_ban = nullptr;
+
+void on_allocation() {
+  ++t_alloc_count;
+  if (t_alloc_ban != nullptr) {
+    // No iostreams, no formatting allocations: stderr is unbuffered.
+    std::fputs("rmp sentinel: heap allocation under ScopedAllocationBan: ",
+               stderr);
+    std::fputs(t_alloc_ban, stderr);
+    std::fputs("\n", stderr);
+    std::abort();
+  }
+}
+#endif
+
+}  // namespace
+
+bool alloc_sentinel_enabled() {
+#if RMP_SENTINELS
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t thread_allocation_count() {
+#if RMP_SENTINELS
+  return t_alloc_count;
+#else
+  return 0;
+#endif
+}
+
+ScopedAllocationBan::ScopedAllocationBan(const char* what)
+    : previous_what_(nullptr) {
+#if RMP_SENTINELS
+  previous_what_ = t_alloc_ban;
+  t_alloc_ban = what;
+#else
+  (void)what;
+#endif
+}
+
+ScopedAllocationBan::~ScopedAllocationBan() {
+#if RMP_SENTINELS
+  t_alloc_ban = previous_what_;
+#endif
+}
+
+void forbid_in_deterministic_region(const char* what) {
+#if RMP_SENTINELS
+  if (in_deterministic_region()) {
+    std::fputs(
+        "rmp sentinel: forbidden access inside a deterministic region: ",
+        stderr);
+    std::fputs(what, stderr);
+    std::fputs("\n", stderr);
+    std::abort();
+  }
+#else
+  (void)what;
+#endif
+}
+
+}  // namespace rmp::core
+
+#if RMP_SENTINELS
+// Counting replacements for the global allocation functions.  They live in
+// this translation unit so that any binary referencing the sentinel API
+// (every sentinel test does) links them in place of the libstdc++ defaults;
+// binaries that never mention the sentinel keep the stock allocator.  The
+// strategy is unchanged — malloc/free, exactly like the defaults — only the
+// per-thread bookkeeping is added, so counts are comparable across plain,
+// ASan and TSan builds.
+
+namespace {
+
+void* counted_alloc(std::size_t size) noexcept {
+  rmp::core::on_allocation();
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  rmp::core::on_allocation();
+  if (align < alignof(void*)) align = alignof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#endif  // RMP_SENTINELS

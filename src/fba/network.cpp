@@ -12,7 +12,6 @@ std::size_t MetabolicNetwork::add_metabolite(std::string id, std::string name,
   const std::size_t idx = metabolites_.size();
   metabolite_by_id_.emplace(id, idx);
   metabolites_.push_back({std::move(id), std::move(name), external});
-  invalidate_cache();
   return idx;
 }
 
@@ -25,7 +24,6 @@ std::size_t MetabolicNetwork::add_reaction(Reaction r) {
   const std::size_t idx = reactions_.size();
   reaction_by_id_.emplace(r.id, idx);
   reactions_.push_back(std::move(r));
-  invalidate_cache();
   return idx;
 }
 
@@ -53,23 +51,20 @@ std::optional<std::size_t> MetabolicNetwork::reaction_index(const std::string& i
 }
 
 num::SparseMatrix MetabolicNetwork::stoichiometric_matrix() const {
-  if (cached_s_) return *cached_s_;
-
-  internal_row_of_metabolite_.assign(metabolites_.size(), SIZE_MAX);
+  std::vector<std::size_t> internal_row(metabolites_.size(), SIZE_MAX);
   std::size_t row = 0;
   for (std::size_t m = 0; m < metabolites_.size(); ++m) {
-    if (!metabolites_[m].external) internal_row_of_metabolite_[m] = row++;
+    if (!metabolites_[m].external) internal_row[m] = row++;
   }
 
   num::SparseMatrix::Builder builder(row, reactions_.size());
   for (std::size_t r = 0; r < reactions_.size(); ++r) {
     for (const Stoich& s : reactions_[r].stoichiometry) {
-      const std::size_t mrow = internal_row_of_metabolite_[s.metabolite];
+      const std::size_t mrow = internal_row[s.metabolite];
       if (mrow != SIZE_MAX) builder.add(mrow, r, s.coefficient);
     }
   }
-  cached_s_ = builder.build();
-  return *cached_s_;
+  return builder.build();
 }
 
 num::Vec MetabolicNetwork::lower_bounds() const {

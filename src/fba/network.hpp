@@ -61,6 +61,11 @@ class MetabolicNetwork {
 
   /// Stoichiometric matrix over *internal* metabolites only
   /// (rows = internal metabolites in declaration order, cols = reactions).
+  /// Built fresh on every call: hot paths (GeobacterProblem::evaluate) keep
+  /// their own copy, and an internal lazy cache would be exactly the kind of
+  /// unsynchronized mutable shared state the rmp_lint mutable-member audit
+  /// forbids — a const method racing its own memoization when a network is
+  /// shared across evaluation threads.
   [[nodiscard]] num::SparseMatrix stoichiometric_matrix() const;
 
   /// Per-reaction bounds as vectors (for the LP / the optimizer's box).
@@ -76,14 +81,10 @@ class MetabolicNetwork {
   [[nodiscard]] std::vector<std::string> orphan_metabolites() const;
 
  private:
-  void invalidate_cache() { cached_s_.reset(); }
-
   std::vector<Metabolite> metabolites_;
   std::vector<Reaction> reactions_;
   std::unordered_map<std::string, std::size_t> metabolite_by_id_;
   std::unordered_map<std::string, std::size_t> reaction_by_id_;
-  mutable std::optional<num::SparseMatrix> cached_s_;
-  mutable std::vector<std::size_t> internal_row_of_metabolite_;
 };
 
 }  // namespace rmp::fba

@@ -10,6 +10,7 @@
 #include "moo/evalcache.hpp"
 #include "numeric/newton.hpp"
 #include "numeric/shooting.hpp"
+#include "numeric/workspace.hpp"
 
 namespace rmp::kinetics {
 
@@ -968,6 +969,88 @@ void C3Model::commit_warm_starts() const {
   warm_pool_.commit();
 }
 
+bool C3Model::pool_exact_lookup(std::span<const double> mult,
+                                SteadyState& out) const {
+  // Exact repeat of a pooled LIVING limit cycle: the original call for
+  // this key returned the cycle average (living cycles win the ladder at
+  // step 3), so returning the stored entry reproduces that report bitwise
+  // — mean_uptake is an orbit average, not co2_uptake(mean state), hence
+  // returned as stored rather than recomputed.  Dead cycle anchors stay in
+  // the pool for prescreen predictions but never short-circuit the ladder
+  // (the original call may have reported an earlier dead root instead).
+  //
+  // Both hits fill `out` without allocating (beyond first-use growth of
+  // out.state and the thread workspace): num::assign reuses capacity and
+  // the residual scratch comes from the arena.  The allocation sentinel
+  // holds this path to literally zero heap allocations once warm.
+  {
+    const WarmStartPool::Hit chit = warm_pool_.nearest_cycle(mult);
+    if (chit.entry != nullptr && chit.entry->mean_uptake > kAliveUptake &&
+        moo::bitwise_equal(chit.entry->key, mult)) {
+      num::assign(out.state, chit.entry->state);
+      out.co2_uptake = chit.entry->mean_uptake;
+      num::Workspace& ws = num::Workspace::thread_local_instance();
+      num::ScratchVec dydt(ws, kNumMetabolites);
+      derivatives(out.state, mult, dydt.get());
+      out.residual = num::norm_inf(dydt.get());
+      out.converged = true;
+      out.newton_iterations = 0;
+      out.rhs_evaluations = 1;
+      out.jacobian_factorizations = 0;
+      out.warm_started = true;
+      out.pool_exact_hit = true;
+      out.oscillatory = true;
+      out.used_integration_fallback = true;
+      out.used_shooting = true;
+      out.cycle_period = chit.entry->period;
+      return true;
+    }
+  }
+  {
+    // Exact repeat of a pooled candidate: the committed root IS this
+    // candidate's living root, so return it directly instead of
+    // re-iterating Newton from it.  Recomputing the uptake from
+    // (state, mult) reproduces the originally reported value bitwise
+    // (the accepting attempt computed it the same way), which is what
+    // lets an EvalCache hit stand in for a re-evaluation without
+    // perturbing the optimizer's trajectory.  The root is NOT restaged:
+    // the pool's pending set, and hence its aging, stays identical
+    // whether repeats are answered here or by a cache layer above.
+    const WarmStartPool::Hit hit = warm_pool_.nearest_entry(mult);
+    if (hit.entry != nullptr && moo::bitwise_equal(hit.entry->key, mult)) {
+      num::assign(out.state, hit.entry->state);
+      out.co2_uptake = co2_uptake(out.state, mult);
+      num::Workspace& ws = num::Workspace::thread_local_instance();
+      num::ScratchVec dydt(ws, kNumMetabolites);
+      derivatives(out.state, mult, dydt.get());
+      out.residual = num::norm_inf(dydt.get());
+      out.converged = true;
+      out.newton_iterations = 0;
+      out.rhs_evaluations = 1;
+      out.jacobian_factorizations = 0;
+      out.warm_started = true;
+      out.pool_exact_hit = true;
+      out.oscillatory = false;
+      out.used_integration_fallback = false;
+      out.used_shooting = false;
+      out.cycle_period = 0.0;
+      return true;
+    }
+  }
+  return false;
+}
+
+void C3Model::steady_state_into(std::span<const double> mult,
+                                std::span<const double> start_hint,
+                                SteadyState& out) const {
+  // With a caller hint the full ladder must run (the hint attempt comes
+  // before the exact-key short circuits, and its work lands in the
+  // counters); without one, an exact pool hit answers in place and
+  // allocation-free.
+  if (start_hint.empty() && pool_exact_lookup(mult, out)) return;
+  out = steady_state(mult, start_hint);
+}
+
 SteadyState C3Model::steady_state(std::span<const double> mult,
                                   std::span<const double> start_hint) const {
   // The collapsed ("dead leaf") state is a genuine root of the kinetics, so
@@ -1014,58 +1097,15 @@ SteadyState C3Model::steady_state(std::span<const double> mult,
     }
   }
   {
-    // Exact repeat of a pooled LIVING limit cycle: the original call for
-    // this key returned the cycle average (living cycles win the ladder at
-    // step 3), so returning the stored entry reproduces that report bitwise
-    // — mean_uptake is an orbit average, not co2_uptake(mean state), hence
-    // returned as stored rather than recomputed.  Dead cycle anchors stay in
-    // the pool for prescreen predictions but never short-circuit the ladder
-    // (the original call may have reported an earlier dead root instead).
-    const WarmStartPool::Hit chit = warm_pool_.nearest_cycle(mult);
-    if (chit.entry != nullptr && chit.entry->mean_uptake > kAliveUptake &&
-        moo::bitwise_equal(chit.entry->key, mult)) {
-      SteadyState ss;
-      ss.state = chit.entry->state;
-      ss.co2_uptake = chit.entry->mean_uptake;
-      num::Vec dydt(kNumMetabolites);
-      derivatives(ss.state, mult, dydt);
-      rhs += 1;
-      ss.residual = num::norm_inf(dydt);
-      ss.converged = true;
-      ss.warm_started = true;
-      ss.pool_exact_hit = true;
-      ss.oscillatory = true;
-      ss.used_integration_fallback = true;
-      ss.used_shooting = true;
-      ss.cycle_period = chit.entry->period;
-      return finalize(std::move(ss));
+    SteadyState exact;
+    if (pool_exact_lookup(mult, exact)) {
+      rhs += exact.rhs_evaluations;
+      return finalize(std::move(exact));
     }
   }
   {
     const WarmStartPool::Hit hit = warm_pool_.nearest_entry(mult);
     if (hit.entry != nullptr) {
-      if (moo::bitwise_equal(hit.entry->key, mult)) {
-        // Exact repeat of a pooled candidate: the committed root IS this
-        // candidate's living root, so return it directly instead of
-        // re-iterating Newton from it.  Recomputing the uptake from
-        // (state, mult) reproduces the originally reported value bitwise
-        // (the accepting attempt computed it the same way), which is what
-        // lets an EvalCache hit stand in for a re-evaluation without
-        // perturbing the optimizer's trajectory.  The root is NOT restaged:
-        // the pool's pending set, and hence its aging, stays identical
-        // whether repeats are answered here or by a cache layer above.
-        SteadyState ss;
-        ss.state = hit.entry->state;
-        ss.co2_uptake = co2_uptake(ss.state, mult);
-        num::Vec dydt(kNumMetabolites);
-        derivatives(ss.state, mult, dydt);
-        rhs += 1;
-        ss.residual = num::norm_inf(dydt);
-        ss.converged = true;
-        ss.warm_started = true;
-        ss.pool_exact_hit = true;
-        return finalize(std::move(ss));
-      }
       const num::Vec start = warm_extrapolated_start(*hit.entry, mult);
       const WarmStartPool::RootCache& cache = *hit.entry->root_cache;
       const num::LuFactorization* warm_lu =

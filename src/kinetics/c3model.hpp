@@ -312,6 +312,19 @@ class C3Model {
       std::span<const double> mult,
       std::span<const double> start_hint = {}) const;
 
+  /// steady_state() variant that writes into a caller-owned result, reusing
+  /// `out.state`'s capacity.  Bitwise-identical to steady_state() in every
+  /// field.  When the candidate is an exact (bitwise) repeat of a committed
+  /// pool entry and no hint is given, the answer is produced WITHOUT ANY
+  /// heap allocation — scratch comes from the thread's workspace arena and
+  /// the state is assigned in place — which is the form of PR 7's
+  /// "warm settled solve allocates nothing" claim the allocation sentinel
+  /// pins down as a hard test (tests/core/sentinel_test.cpp).  Service
+  /// loops replaying pooled candidates get an allocation-free fast path.
+  void steady_state_into(std::span<const double> mult,
+                         std::span<const double> start_hint,
+                         SteadyState& out) const;
+
   /// Folds steady states recorded since the last commit into the warm-start
   /// pool's snapshot.  Call only from serial sections — the engines do so at
   /// the same epoch barriers where the archive merges (moo::Problem::
@@ -349,6 +362,13 @@ class C3Model {
   [[nodiscard]] SteadyState solve_from(std::span<const double> start,
                                        std::span<const double> mult,
                                        bool allow_fallback) const;
+
+  /// Exact-key (bitwise) pool short circuits shared by steady_state and
+  /// steady_state_into: a pooled LIVING cycle's stored average, or a pooled
+  /// root returned directly.  Fills `out` in place — no allocation beyond
+  /// what growing out.state's capacity needs — and returns true on a hit.
+  /// Work counters in `out` reflect only this lookup (one RHS evaluation).
+  bool pool_exact_lookup(std::span<const double> mult, SteadyState& out) const;
 
   /// Fills jac with the closed-form Jacobian only (shared by the public
   /// derivatives_and_jacobian and the solver's num::JacobianFn).
@@ -418,7 +438,7 @@ class C3Model {
   /// Epoch-committed (candidate, steady state) pairs; mutable because
   /// recording accepted solutions is an acceleration, not an observable
   /// state change — see warm_start.hpp for the determinism argument.
-  mutable WarmStartPool warm_pool_;
+  mutable WarmStartPool warm_pool_;  // lint: epoch-committed
 };
 
 }  // namespace rmp::kinetics

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/sentinel.hpp"
+
 namespace rmp::kinetics {
 
 namespace {
@@ -84,6 +86,11 @@ void WarmStartPool::record_cycle(std::span<const double> key,
 }
 
 void WarmStartPool::commit() {
+  // A mid-epoch commit would swap the snapshot other items of the same batch
+  // are reading their warm starts from — the exact scheduling dependence the
+  // epoch discipline exists to prevent.  Callers guard with
+  // core::in_deterministic_region(); the sentinel makes the contract hard.
+  core::forbid_in_deterministic_region("WarmStartPool::commit");
   const std::lock_guard<std::mutex> lock(mu_);
   if (pending_.empty()) return;
 

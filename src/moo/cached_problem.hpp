@@ -88,7 +88,9 @@ class CachedProblem final : public Problem {
 
  private:
   std::shared_ptr<const Problem> inner_;
-  mutable EvalCache cache_;
+  /// Immutable snapshot between commits, mutex-staged writes, folded only at
+  /// serial epoch barriers (EvalCache's own discipline).
+  mutable EvalCache cache_;  // lint: epoch-committed
 };
 
 }  // namespace rmp::moo

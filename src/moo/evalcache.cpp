@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/sentinel.hpp"
+
 namespace rmp::moo {
 
 bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
@@ -92,6 +94,9 @@ void EvalCache::stage(std::span<const double> x, std::span<const double> f,
 
 void EvalCache::commit() {
   if (capacity_ == 0) return;
+  // Same contract as WarmStartPool::commit: snapshots may only swap at
+  // serial epoch barriers, never while a batch is mid-flight.
+  core::forbid_in_deterministic_region("EvalCache::commit");
   std::lock_guard<std::mutex> lock(mu_);
   if (pending_.empty()) return;
 

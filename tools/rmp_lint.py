@@ -1,0 +1,381 @@
+#!/usr/bin/env python3
+"""rmp_lint: source-level determinism-contract checker for the rmp tree.
+
+The determinism contract (ARCHITECTURE.md, "Determinism contract") promises
+bit-identical archives for any thread count, allocation-free warm solves, and
+epoch-committed shared state.  Most of the contract is enforced at runtime
+(sentinels, golden fingerprints, TSan); this tool enforces the parts that are
+cheapest to catch *before* running anything, by scanning the source:
+
+  std-function          No std::function in src/numeric/ or src/kinetics/
+                        (solver hot paths).  Type-erased callables allocate
+                        and indirect-call; solver paths take num::FunctionRef
+                        or templated callables instead.
+  entropy               No rand()/srand()/std::random_device or any other
+                        ambient entropy source anywhere in src/.  All
+                        randomness flows through num::Rng instances seeded
+                        from the run spec, or results are not reproducible.
+  wall-clock            No time()/clock()/gettimeofday()/std::chrono clock
+                        reads in src/.  Clock reads feeding anything but
+                        operator-facing progress output make runs
+                        time-dependent.  Timing-only uses carry
+                        `// lint: allow(wall-clock) <reason>`.
+  unordered-iteration   No iteration over std::unordered_map/unordered_set.
+                        Unordered iteration order varies with libstdc++
+                        version, insertion history, and rehash points; any
+                        result that flows from it is not reproducible.
+                        Lookups are fine — only iteration is flagged.
+  mutable-audit         Every `mutable` class member is either a
+                        self-synchronizing type (mutex, atomic, once_flag,
+                        condition_variable) or documented
+                        `// lint: epoch-committed` — the annotation is a
+                        claim, checked in review and by TSan, that the member
+                        only changes at serial epoch barriers.
+  header-self-contained (--headers) Every .hpp under src/ compiles as its own
+                        translation unit, so include order can never hide a
+                        missing dependency.
+
+Exceptions are annotated in the source, never configured here:
+
+    // lint: allow(<rule>) <reason>       same line or the line above
+    // lint: epoch-committed [<reason>]   mutable members only
+
+An annotation without a reason is itself a violation for allow(); the reason
+is the review surface.
+
+Usage:
+    tools/rmp_lint.py [--repo DIR] [--headers] [--cxx COMPILER]
+
+Exit status 0 = clean, 1 = violations (listed on stdout as
+file:line: [rule] message), 2 = usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+SRC_EXTS = {".hpp", ".cpp"}
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+EPOCH_RE = re.compile(r"//\s*lint:\s*epoch-committed\b")
+
+SELF_SYNC_RE = re.compile(
+    r"\b(?:std::)?(?:mutex|shared_mutex|recursive_mutex|atomic(?:_[a-z0-9_]+)?"
+    r"|atomic<|once_flag|condition_variable)\b"
+)
+
+ENTROPY_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b|(?<!\w)random_device\b"),
+     "ambient entropy source std::random_device; seed num::Rng from the run spec"),
+    (re.compile(r"(?<![\w:.>])s?rand\s*\("),
+     "C rand()/srand(); all randomness goes through num::Rng"),
+    (re.compile(r"std::time\s*\(|(?<![\w:.>])time\s*\("),
+     "time() read; runs must not depend on when they start"),
+]
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "chrono clock read; annotate timing-only uses with lint: allow(wall-clock)"),
+    (re.compile(r"\b(?:gettimeofday|clock_gettime|timespec_get)\s*\("),
+     "wall-clock syscall"),
+    (re.compile(r"(?<![\w:.>])clock\s*\("),
+     "C clock() read"),
+]
+
+STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;{}]*?):([^;{}]*?)\)\s*[{a-zA-Z]")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line structure.
+
+    Every removed character becomes a space (newlines survive), so line and
+    column positions in the result match the original file.
+    """
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = NORMAL
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == '"' and text[max(0, i - 1):i] == "R":
+                m = re.match(r'R"([^(\s\\]{0,16})\(', text[i - 1:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = RAW_STRING
+                    out.append(" ")
+                    i += 1
+                else:
+                    state = STRING
+                    out.append(" ")
+                    i += 1
+            elif c == '"':
+                state = STRING
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = CHAR
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == STRING:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = NORMAL
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == CHAR:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = NORMAL
+                out.append(" ")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # RAW_STRING
+            if text.startswith(raw_delim, i):
+                state = NORMAL
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+class FileLint:
+    """One source file: original lines, stripped lines, annotations."""
+
+    def __init__(self, path: Path, repo: Path):
+        self.path = path
+        self.rel = path.relative_to(repo)
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.stripped_text = strip_comments_and_strings(self.text)
+        self.stripped = self.stripped_text.splitlines()
+        # line number -> set of allowed rules; reasonless allows are recorded
+        # as violations immediately.
+        self.allows: dict[int, set[str]] = {}
+        self.epoch_committed: set[int] = set()
+        self.annotation_violations: list[Violation] = []
+        for lineno, line in enumerate(self.lines, 1):
+            for m in ALLOW_RE.finditer(line):
+                rule, reason = m.group(1), m.group(2).strip()
+                if not reason:
+                    self.annotation_violations.append(Violation(
+                        self.rel, lineno, "annotation",
+                        f"lint: allow({rule}) without a reason — say why"))
+                self.allows.setdefault(lineno, set()).add(rule)
+            if EPOCH_RE.search(line):
+                self.epoch_committed.add(lineno)
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        """allow() annotations apply to their own line or the line below."""
+        return (rule in self.allows.get(lineno, ())
+                or rule in self.allows.get(lineno - 1, ()))
+
+    def is_epoch_committed(self, lineno: int) -> bool:
+        return (lineno in self.epoch_committed
+                or (lineno - 1) in self.epoch_committed)
+
+
+def check_patterns(fl: FileLint, rule: str, patterns, out: list[Violation]):
+    for lineno, line in enumerate(fl.stripped, 1):
+        for pat, msg in patterns:
+            if pat.search(line) and not fl.allowed(lineno, rule):
+                out.append(Violation(fl.rel, lineno, rule, msg))
+                break
+
+
+def check_std_function(fl: FileLint, out: list[Violation]):
+    for lineno, line in enumerate(fl.stripped, 1):
+        if STD_FUNCTION_RE.search(line) and not fl.allowed(lineno, "std-function"):
+            out.append(Violation(
+                fl.rel, lineno, "std-function",
+                "std::function in a solver path; use num::FunctionRef or a "
+                "template parameter"))
+
+
+def unordered_member_names(fl: FileLint) -> set[str]:
+    """Names declared in this file with an unordered container type.
+
+    Heuristic: after `unordered_map<...>` (template args matched by bracket
+    counting) the next identifier before `;`, `{`, `=`, or `(` is the
+    variable name.
+    """
+    names: set[str] = set()
+    text = fl.stripped_text
+    for m in UNORDERED_DECL_RE.finditer(text):
+        i = m.end()  # just past '<'
+        depth = 1
+        while i < len(text) and depth > 0:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        tail = text[i:i + 200]
+        im = re.match(r"\s*&?\s*([A-Za-z_]\w*)", tail)
+        if im and im.group(1) not in {"const", "return"}:
+            names.add(im.group(1))
+    return names
+
+
+def check_unordered_iteration(fl: FileLint, out: list[Violation]):
+    names = unordered_member_names(fl)
+    if not names:
+        return
+    for lineno, line in enumerate(fl.stripped, 1):
+        m = RANGE_FOR_RE.search(line)
+        if not m:
+            continue
+        range_expr = m.group(2)
+        idents = set(IDENT_RE.findall(range_expr))
+        hit = idents & names
+        if hit and not fl.allowed(lineno, "unordered-iteration"):
+            out.append(Violation(
+                fl.rel, lineno, "unordered-iteration",
+                f"range-for over unordered container '{sorted(hit)[0]}' — "
+                "iteration order is not reproducible; iterate a sorted or "
+                "insertion-ordered mirror instead"))
+
+
+def check_mutable_members(fl: FileLint, out: list[Violation]):
+    for lineno, line in enumerate(fl.stripped, 1):
+        m = re.match(r"\s*mutable\s+(.*)", line)
+        if not m:
+            continue
+        decl = m.group(1)
+        if SELF_SYNC_RE.search(decl):
+            continue
+        if fl.is_epoch_committed(lineno) or fl.allowed(lineno, "mutable-audit"):
+            continue
+        out.append(Violation(
+            fl.rel, lineno, "mutable-audit",
+            "mutable member is neither a self-synchronizing type nor "
+            "documented `// lint: epoch-committed` — shared mutation "
+            "outside the epoch-commit discipline races under island "
+            "parallelism"))
+
+
+def check_headers_self_contained(repo: Path, cxx: str,
+                                 out: list[Violation]) -> None:
+    src = repo / "src"
+    headers = sorted(src.glob("*/*.hpp"))
+    for hpp in headers:
+        rel = hpp.relative_to(src)
+        probe = f'#include "{rel.as_posix()}"\n'
+        cmd = [cxx, "-std=c++20", "-fsyntax-only", "-I", str(src),
+               "-x", "c++", "-"]
+        try:
+            proc = subprocess.run(cmd, input=probe, capture_output=True,
+                                  text=True, timeout=120)
+        except (OSError, subprocess.TimeoutExpired) as e:
+            print(f"rmp_lint: cannot run {cxx}: {e}", file=sys.stderr)
+            sys.exit(2)
+        if proc.returncode != 0:
+            first = proc.stderr.strip().splitlines()
+            detail = first[0] if first else "compiler error"
+            out.append(Violation(
+                hpp.relative_to(repo), 1, "header-self-contained",
+                f"does not compile standalone: {detail}"))
+
+
+def lint_repo(repo: Path, headers: bool, cxx: str) -> list[Violation]:
+    src = repo / "src"
+    if not src.is_dir():
+        print(f"rmp_lint: no src/ under {repo}", file=sys.stderr)
+        sys.exit(2)
+    files = sorted(p for p in src.rglob("*") if p.suffix in SRC_EXTS)
+    violations: list[Violation] = []
+    for path in files:
+        fl = FileLint(path, repo)
+        violations.extend(fl.annotation_violations)
+        top = fl.rel.parts[1] if len(fl.rel.parts) > 1 else ""
+        if top in ("numeric", "kinetics"):
+            check_std_function(fl, violations)
+        check_patterns(fl, "entropy", ENTROPY_PATTERNS, violations)
+        check_patterns(fl, "wall-clock", WALL_CLOCK_PATTERNS, violations)
+        check_unordered_iteration(fl, violations)
+        check_mutable_members(fl, violations)
+    if headers:
+        check_headers_self_contained(repo, cxx, violations)
+    return violations
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", type=Path, default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: the tree containing this script)")
+    ap.add_argument("--headers", action="store_true",
+                    help="also check that every src/ header compiles standalone")
+    ap.add_argument("--cxx", default="c++",
+                    help="compiler for --headers (default: c++)")
+    args = ap.parse_args()
+
+    violations = lint_repo(args.repo.resolve(), args.headers, args.cxx)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"rmp_lint: {len(violations)} violation(s)")
+        return 1
+    print("rmp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
