@@ -62,6 +62,62 @@ test -n "$("${RMP_RUN}" --list-problems)" || { echo "rmp_run --list-problems is 
 grep -q '"fingerprint": "0x' "${BUILD_DIR}/rmp_run_result.json" \
   || { echo "rmp_run result carries no fingerprint" >&2; exit 1; }
 
+# rmp_serve smoke: the daemon must survive a deterministic mid-run stop
+# (--step-limit drains to checkpoints), a real SIGTERM mid-run, and a final
+# --drain restart — with both spooled jobs completing to validated result
+# JSONs whose archive fingerprints match a direct rmp_run of the same specs
+# (the kill-and-resume identity of the determinism contract).
+RMP_SERVE="${BUILD_DIR}/tools/rmp_serve"
+SPOOL="${BUILD_DIR}/serve-spool"
+SERVE_SPECS="${BUILD_DIR}/serve-specs"
+rm -rf "${SPOOL}" "${SERVE_SPECS}"
+mkdir -p "${SPOOL}/jobs" "${SERVE_SPECS}"
+cat > "${SERVE_SPECS}/jobA.json" <<'EOF'
+{"problem": "photosynthesis?scenario=present-low&pool=4096",
+ "optimizer": "pmo2?islands=2&population=8&migration_interval=2&migrants=2",
+ "generations": 40, "seed": 7, "threads": 2, "cache": 4096}
+EOF
+cat > "${SERVE_SPECS}/jobB.json" <<'EOF'
+{"problem": "zdt1?n=6", "optimizer": "nsga2?population=16",
+ "generations": 80, "seed": 11, "threads": 1}
+EOF
+cp "${SERVE_SPECS}"/job*.json "${SPOOL}/jobs/"
+
+# Phase 1: stop mid-run deterministically; both jobs must be checkpointed
+# (the daemon-level cadence also exercises periodic work/ writes).
+"${RMP_SERVE}" --spool "${SPOOL}" --step-limit 30 --checkpoint-every 5 --poll-ms 20
+for job in jobA jobB; do
+  test -s "${SPOOL}/work/${job}.checkpoint.json" \
+    || { echo "rmp_serve step-limit drain left no ${job} checkpoint" >&2; exit 1; }
+done
+
+# Phase 2: restart (resumes the checkpoints), then SIGTERM mid-run — the
+# daemon must drain gracefully and exit 0.
+"${RMP_SERVE}" --spool "${SPOOL}" --checkpoint-every 5 --poll-ms 20 &
+SERVE_PID=$!
+sleep 1
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}" \
+  || { echo "rmp_serve did not exit cleanly on SIGTERM" >&2; exit 1; }
+
+# Phase 3: final restart drains the spool; both jobs must complete with
+# result artifacts that validate and fingerprint-match direct runs.
+"${RMP_SERVE}" --spool "${SPOOL}" --drain --poll-ms 20
+for job in jobA jobB; do
+  test -s "${SPOOL}/results/${job}.json" \
+    || { echo "rmp_serve drain left no ${job} result" >&2; exit 1; }
+  "${RMP_RUN}" --validate "${SPOOL}/results/${job}.json"
+  "${RMP_RUN}" "${SERVE_SPECS}/${job}.json" \
+    --out "${BUILD_DIR}/serve-${job}-direct.json" > /dev/null
+  served=$(grep -o '"fingerprint": "0x[0-9a-f]*"' "${SPOOL}/results/${job}.json" | head -1)
+  direct=$(grep -o '"fingerprint": "0x[0-9a-f]*"' "${BUILD_DIR}/serve-${job}-direct.json" | head -1)
+  if [ -z "${served}" ] || [ "${served}" != "${direct}" ]; then
+    echo "rmp_serve ${job} fingerprint '${served}' != direct rmp_run '${direct}'" >&2
+    exit 1
+  fi
+done
+echo "rmp_serve smoke: both jobs resumed and fingerprint-matched rmp_run"
+
 # Benchmark smoke: emits and prints BENCH_pmo2.json (island-scaling wall
 # times, speedups, the bit-identical-archive check), BENCH_archive.json
 # (batch-vs-naive merge engine cross-check) and BENCH_kinetics.json (the
@@ -106,7 +162,8 @@ SAN_TESTS=(
   kinetics_c3model_test kinetics_control_analysis_test kinetics_enzymes_test
   kinetics_problem_test kinetics_prescreen_test kinetics_warm_start_test
   moo_evalcache_test integration_cache_differential_test
-  robustness_robustness_test)
+  robustness_robustness_test
+  api_session_test api_serve_test)
 
 # The phase-gate benchmark binaries must at least BUILD under each sanitizer
 # configuration — run_benchmarks.sh itself stays on the Release build, but a
@@ -148,7 +205,8 @@ TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
 TSAN_TESTS=(
   core_parallel_test core_sentinel_test
   moo_pmo2_test moo_evalcache_test kinetics_warm_start_test
-  integration_cache_differential_test numeric_solver_differential_test)
+  integration_cache_differential_test numeric_solver_differential_test
+  api_session_test api_serve_test)
 
 cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

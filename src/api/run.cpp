@@ -1,175 +1,36 @@
 #include "api/run.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <memory>
 #include <utility>
 
+#include "api/session.hpp"
 #include "core/report.hpp"
-#include "moo/archive.hpp"
-#include "moo/cached_problem.hpp"
-#include "pareto/mining.hpp"
-#include "robustness/yield.hpp"
 
 namespace rmp::api {
 
-namespace {
+RunResult run(const RunSpec& spec) { return run(spec, Session::Observer{}); }
 
-// Elapsed-seconds is operator-facing progress data only; no optimizer or
-// solver decision reads it.
-// lint: allow(wall-clock) timing-only, feeds RunResult::elapsed_seconds
-using clock = std::chrono::steady_clock;
-
-double seconds_since(clock::time_point start) {
-  return std::chrono::duration<double>(clock::now() - start).count();
-}
-
-/// The generic screened property: objective 0 of the problem (for the
-/// paper's problems that is the negated CO2 uptake / electron production —
-/// exactly the quantity whose persistence Section 2.3 assesses).
-robustness::PropertyFn objective0_property(std::shared_ptr<moo::Problem> problem) {
-  return [problem = std::move(problem)](std::span<const double> x) {
-    num::Vec f(problem->num_objectives());
-    (void)problem->evaluate(x, f);
-    return f[0];
-  };
-}
-
-robustness::YieldConfig yield_config(const RunSpec& spec, const moo::Problem& problem) {
-  robustness::YieldConfig cfg;
-  cfg.perturbation.global_trials = spec.robustness.trials;
-  cfg.perturbation.max_relative = spec.robustness.max_relative;
-  const auto lower = problem.lower_bounds();
-  const auto upper = problem.upper_bounds();
-  cfg.perturbation.lower.assign(lower.begin(), lower.end());
-  cfg.perturbation.upper.assign(upper.begin(), upper.end());
-  cfg.epsilon_fraction = spec.robustness.epsilon_fraction;
-  cfg.seed = spec.robustness.seed;
-  cfg.threads = spec.threads;
-  // Serial barriers around each ensemble fold solved steady states into the
-  // problem's evaluation accelerators (the kinetic warm-start pool).
-  cfg.epoch_commit = [p = &problem] { p->commit_epoch(); };
-  return cfg;
-}
-
-}  // namespace
-
-RunResult run(const RunSpec& spec) {
-  RunResult result;
-  result.spec = spec;
-
-  std::shared_ptr<moo::Problem> problem = ProblemRegistry::global().make(spec.problem);
-  if (spec.prescreen && !problem->set_prescreen(true)) {
-    throw SpecError("spec \"prescreen\": problem \"" + spec.problem +
-                    "\" has no tangent-model prescreen");
+RunResult run(const RunSpec& spec, const Session::Observer& observer) {
+  if (spec.checkpoint_every > 0 && spec.checkpoint_path.empty()) {
+    throw SpecError(
+        "spec \"checkpoint_every\" > 0 requires \"checkpoint_path\" under "
+        "api::run (rmp_serve supplies its own spool path)");
   }
-  if (spec.cache > 0) {
-    // Decorate AFTER the prescreen switch: the cache forwards set_prescreen
-    // but the error message above names the inner problem directly.
-    problem = std::make_shared<moo::CachedProblem>(problem, spec.cache);
+  Session session(spec);
+  if (spec.checkpoint_every == 0) {
+    session.set_observer(observer);
+    return session.finish();
   }
-  result.problem_name = problem->name();
-  const std::unique_ptr<moo::Optimizer> optimizer = OptimizerRegistry::global().make(
-      spec.optimizer, *problem, OptimizerContext{spec.seed, spec.threads});
-  result.optimizer_name = optimizer->name();
-
-  // 1. Optimize.  The run archive merges every committed generation's
-  //    population in generation order — that is the external archive the
-  //    single-population engines lack.  When population() already IS a
-  //    cumulative run archive (PMO2), one merge at the end yields the same
-  //    content without re-offering the whole archive every generation.
-  //    Everything is seeded, so the archive (and its fingerprint) is
-  //    bit-identical across runs and thread counts.
-  const auto optimize_start = clock::now();
-  moo::Archive archive;
-  const bool cumulative = optimizer->population_is_archive();
-  optimizer->initialize();
-  if (!cumulative) archive.offer_all(optimizer->population());
-  for (std::size_t g = 0; g < spec.generations; ++g) {
-    optimizer->step();
-    if (!cumulative) archive.offer_all(optimizer->population());
-  }
-  if (cumulative) archive.offer_all(optimizer->population());
-  result.optimize_seconds = seconds_since(optimize_start);
-  result.evaluations = optimizer->evaluations();
-  result.fingerprint = archive.fingerprint();
-  result.front = pareto::Front::from_population(archive.solutions());
-  if (result.front.empty()) {
-    result.eval_stats = problem->eval_stats();
-    return result;
-  }
-
-  const bool robust = spec.robustness.enabled && spec.robustness.trials > 0;
-  const robustness::PropertyFn property =
-      robust ? objective0_property(problem) : robustness::PropertyFn{};
-  const robustness::YieldConfig ycfg =
-      robust ? yield_config(spec, *problem) : robustness::YieldConfig{};
-
-  // 2. Mine trade-off candidates (Section 2.2), then 3. estimate each one's
-  //    robustness (Section 2.3) when enabled.
-  if (spec.mining.enabled) {
-    const auto mining_start = clock::now();
-    auto mine = [&](std::string selection, std::size_t idx) {
-      core::MinedCandidate c;
-      c.selection = std::move(selection);
-      c.front_index = idx;
-      c.x = result.front[idx].x;
-      c.objectives = result.front[idx].f;
-      result.mined.push_back(std::move(c));
-    };
-    mine("closest-to-ideal", pareto::closest_to_ideal(result.front, spec.mining.metric));
-    const auto shadows = pareto::shadow_minima(result.front);
-    for (std::size_t j = 0; j < shadows.size(); ++j) {
-      mine("shadow-min f" + std::to_string(j), shadows[j]);
+  // Periodic checkpointing wraps the caller's observer so the cadence counts
+  // committed epochs exactly — including the ones finish() drives.
+  session.set_observer([&](const SessionProgress& progress) {
+    if (observer) observer(progress);
+    const bool due = progress.epoch % spec.checkpoint_every == 0 ||
+                     progress.epoch == progress.total_epochs;
+    if (due && !core::write_json_file(spec.checkpoint_path, session.checkpoint())) {
+      throw SpecError("cannot write checkpoint to \"" + spec.checkpoint_path + "\"");
     }
-    result.mining_seconds = seconds_since(mining_start);
-  }
-
-  if (robust) {
-    const auto robustness_start = clock::now();
-    for (core::MinedCandidate& c : result.mined) {
-      // The mined candidate's archived objective 0 IS the property's nominal
-      // value (bitwise — the archive stores what evaluate() reported), so
-      // hand it through instead of re-evaluating the nominal point.
-      robustness::YieldConfig candidate_cfg = ycfg;
-      candidate_cfg.nominal_value = c.objectives[0];
-      c.yield = robustness::global_yield(c.x, property, candidate_cfg);
-    }
-    // 4. Surface screening + the max-yield selection (Figure 3 / Table 2).
-    if (spec.robustness.surface_samples > 0) {
-      robustness::SurfaceConfig scfg;
-      scfg.yield = ycfg;
-      scfg.samples = spec.robustness.surface_samples;
-      scfg.threads = spec.threads;
-      result.surface = robustness::robustness_surface(result.front, property, scfg);
-      if (!result.surface.empty()) {
-        const auto best = std::max_element(
-            result.surface.begin(), result.surface.end(),
-            [](const auto& a, const auto& b) { return a.gamma < b.gamma; });
-        core::MinedCandidate c;
-        c.selection = "max-yield";
-        c.front_index = best->front_index;
-        c.x = result.front[best->front_index].x;
-        c.objectives = result.front[best->front_index].f;
-        // Synthesize the YieldResult from the surface's gamma (same x, same
-        // config — re-running the Monte-Carlo ensemble would only repeat it),
-        // exactly as RobustDesigner's stage 4 does.
-        robustness::YieldResult y;
-        y.gamma = best->gamma;
-        y.nominal_value = property(c.x);
-        y.total_trials = ycfg.perturbation.global_trials;
-        y.robust_trials = static_cast<std::size_t>(
-            best->gamma * static_cast<double>(y.total_trials) + 0.5);
-        y.absolute_threshold = ycfg.epsilon_fraction * std::fabs(y.nominal_value);
-        c.yield = y;
-        result.mined.push_back(std::move(c));
-      }
-    }
-    result.robustness_seconds = seconds_since(robustness_start);
-  }
-  result.eval_stats = problem->eval_stats();
-  return result;
+  });
+  return session.finish();
 }
 
 core::Json result_to_json(const RunResult& result) {

@@ -3,10 +3,15 @@
 // mined trade-off candidates, their robustness, and stage timings.
 //
 //   spec.json --parse--> RunSpec --ProblemRegistry/OptimizerRegistry--> run()
-//        optimize (Optimizer::run + per-generation archive merge)
+//        optimize (api::Session::step_epoch + per-generation archive merge)
 //     -> mine (closest-to-ideal, shadow minima)
 //     -> robustness (global yields; optional surface + max-yield pick)
 //     -> RunResult --result_to_json--> result.json
+//
+// run() is the one-shot wrapper over api::Session (api/session.hpp), which
+// owns the optimize-stage state machine and its checkpoint/resume envelope;
+// when spec.checkpoint_every > 0 the wrapper serializes the session to
+// spec.checkpoint_path at that epoch cadence.
 //
 // Determinism: everything downstream of the spec is seeded — two runs of the
 // same spec produce bit-identical archives, so RunResult::fingerprint is a

@@ -1,0 +1,245 @@
+#include "api/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "core/json.hpp"
+
+namespace rmp::api {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSubdirs[] = {"jobs", "work", "events", "results",
+                                    "failed"};
+
+/// Admissible job files: "<id>.json" with a non-empty id, no dotfiles and no
+/// in-flight temp files.
+bool is_job_file(const fs::path& path) {
+  return path.extension() == ".json" && !path.stem().empty() &&
+         path.filename().string().front() != '.';
+}
+
+/// Temp-then-rename so a kill mid-write can never leave a torn document
+/// where a reader (or the next server process) expects a valid one.
+void write_atomic(const std::string& path, const core::Json& doc) {
+  const std::string tmp = path + ".tmp";
+  if (!core::write_json_file(tmp, doc)) {
+    throw SpecError("cannot write \"" + tmp + "\"");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw SpecError("cannot rename \"" + tmp + "\" to \"" + path +
+                    "\": " + ec.message());
+  }
+}
+
+void remove_quiet(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+void move_quiet(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+}
+
+}  // namespace
+
+JobServer::JobServer(ServeOptions options) : options_(std::move(options)) {
+  if (options_.spool.empty()) {
+    throw SpecError("rmp_serve needs a spool directory");
+  }
+  for (const char* sub : kSubdirs) {
+    std::error_code ec;
+    fs::create_directories(fs::path(options_.spool) / sub, ec);
+    if (ec) {
+      throw SpecError("cannot create spool directory \"" + options_.spool +
+                      "/" + sub + "\": " + ec.message());
+    }
+  }
+}
+
+std::string JobServer::jobs_dir() const { return options_.spool + "/jobs"; }
+
+std::string JobServer::checkpoint_file(const std::string& id) const {
+  return options_.spool + "/work/" + id + ".checkpoint.json";
+}
+
+std::string JobServer::events_file(const std::string& id) const {
+  return options_.spool + "/events/" + id + ".jsonl";
+}
+
+std::string JobServer::results_file(const std::string& id) const {
+  return options_.spool + "/results/" + id + ".json";
+}
+
+std::string JobServer::failed_file(const std::string& id) const {
+  return options_.spool + "/failed/" + id + ".json";
+}
+
+void JobServer::admit_new_jobs(TickReport& report) {
+  std::vector<fs::path> candidates;
+  std::error_code ec;
+  for (fs::directory_iterator it(jobs_dir(), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec) && is_job_file(it->path())) {
+      candidates.push_back(it->path());
+    }
+  }
+  // Filename order, so the admission sequence (and with it the round-robin
+  // schedule) is a pure function of the spool contents.
+  std::sort(candidates.begin(), candidates.end());
+
+  for (const fs::path& path : candidates) {
+    const std::string id = path.stem().string();
+    const bool active = std::any_of(jobs_.begin(), jobs_.end(),
+                                    [&](const Job& j) { return j.id == id; });
+    if (active) continue;
+    try {
+      const RunSpec spec = spec_from_json(core::load_json_file(path.string()));
+      const std::string ckpt = checkpoint_file(id);
+      // A spooled checkpoint means a previous server process drained this
+      // job mid-run; resume it bit-exactly instead of restarting.  Envelope
+      // mismatches (different spec/seed, corruption) fail the job with the
+      // named SpecError — never a silent restart.
+      Session session = fs::exists(ckpt)
+                            ? Session::resume(core::load_json_file(ckpt))
+                            : Session(spec);
+      const std::size_t cadence = spec.checkpoint_every > 0
+                                      ? spec.checkpoint_every
+                                      : options_.default_checkpoint_every;
+      jobs_.push_back(Job{id, std::move(session), cadence});
+      append_event(jobs_.back());
+      ++report.admitted;
+    } catch (const std::exception& e) {
+      fail_job(id, e.what(), report);
+    }
+  }
+}
+
+void JobServer::append_event(const Job& job) {
+  // Best-effort stream: one line per committed epoch (plus one at
+  // admission).  After a crash the resumed job rewinds to its checkpoint,
+  // so consumers may see an epoch twice — they key on the "epoch" field,
+  // which is monotone within one server process.
+  core::Json line = progress_to_json(job.session.progress());
+  line.set("job", job.id);
+  std::ofstream out(events_file(job.id), std::ios::app);
+  out << line.dump(0) << '\n';
+}
+
+void JobServer::write_checkpoint(const Job& job) {
+  write_atomic(checkpoint_file(job.id), job.session.checkpoint());
+}
+
+void JobServer::fail_job(const std::string& id, const std::string& why,
+                         TickReport& report) {
+  core::Json record = core::Json::object();
+  record.set("job", id);
+  record.set("error", why);
+  try {
+    write_atomic(failed_file(id), record);
+  } catch (const SpecError&) {
+    // The failure record is diagnostics; losing it must not wedge the
+    // scheduler (the job file still moves out of jobs/ below).
+  }
+  // Keep the evidence next to the error record instead of deleting it.
+  move_quiet(jobs_dir() + "/" + id + ".json",
+             options_.spool + "/failed/" + id + ".spec.json");
+  move_quiet(checkpoint_file(id),
+             options_.spool + "/failed/" + id + ".checkpoint.json");
+  ++report.failed;
+}
+
+void JobServer::complete_job(Job& job, TickReport& report) {
+  const RunResult result = job.session.finish();
+  write_atomic(results_file(job.id), result_to_json(result));
+  remove_quiet(checkpoint_file(job.id));
+  remove_quiet(jobs_dir() + "/" + job.id + ".json");
+  ++report.completed;
+}
+
+TickReport JobServer::tick() {
+  TickReport report;
+  admit_new_jobs(report);
+
+  std::vector<std::string> dropped;
+  for (Job& job : jobs_) {
+    if (options_.step_limit > 0 && total_stepped_ >= options_.step_limit) {
+      break;
+    }
+    if (job.session.done()) continue;
+    try {
+      job.session.step_epoch();
+      ++total_stepped_;
+      ++report.stepped;
+      append_event(job);
+      if (job.cadence > 0 && job.session.epoch() % job.cadence == 0) {
+        write_checkpoint(job);
+      }
+    } catch (const std::exception& e) {
+      fail_job(job.id, e.what(), report);
+      dropped.push_back(job.id);
+    }
+  }
+
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    const bool failed =
+        std::find(dropped.begin(), dropped.end(), it->id) != dropped.end();
+    bool remove = failed;
+    if (!failed && it->session.done()) {
+      try {
+        complete_job(*it, report);
+      } catch (const std::exception& e) {
+        fail_job(it->id, e.what(), report);
+      }
+      remove = true;
+    }
+    it = remove ? jobs_.erase(it) : ++it;
+  }
+  report.active = jobs_.size();
+  return report;
+}
+
+void JobServer::checkpoint_all() {
+  for (const Job& job : jobs_) {
+    try {
+      write_checkpoint(job);
+    } catch (const SpecError&) {
+      // Drain as many jobs as the disk allows; one bad volume must not
+      // abort the checkpoints of the others.
+    }
+  }
+}
+
+void JobServer::run(const std::atomic<bool>& stop) {
+  while (true) {
+    if (stop.load(std::memory_order_relaxed)) {
+      checkpoint_all();
+      return;
+    }
+    const TickReport report = tick();
+    if (stop.load(std::memory_order_relaxed) ||
+        (options_.step_limit > 0 && total_stepped_ >= options_.step_limit)) {
+      checkpoint_all();
+      return;
+    }
+    if (options_.drain && report.active == 0 && report.admitted == 0 &&
+        report.stepped == 0) {
+      return;
+    }
+    if (report.stepped == 0 && report.admitted == 0 && report.completed == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_ms));
+    }
+  }
+}
+
+}  // namespace rmp::api

@@ -1,0 +1,118 @@
+// api::JobServer — the rmp_serve job-queue scheduler: many RunSpecs, one
+// process, epoch-fair multiplexing with checkpointed crash recovery.
+//
+// Jobs are plain RunSpec JSON files dropped into a spool directory; the
+// server validates them with the same strict parser as rmp_run, runs each as
+// an api::Session, and interleaves all active jobs one committed epoch at a
+// time (round-robin in admission order, admission sorted by filename — the
+// schedule is a pure function of the spool contents).  Sessions share
+// core::global_pool() for their intra-epoch parallelism, so "fair" here
+// means epoch-granular: every active job advances once per scheduling round
+// regardless of how expensive its epochs are.
+//
+// Spool layout (created on construction):
+//
+//   <spool>/jobs/<id>.json              submitted RunSpec (removed when done)
+//   <spool>/work/<id>.checkpoint.json   latest checkpoint of an active job
+//   <spool>/events/<id>.jsonl           one progress event per committed epoch
+//   <spool>/results/<id>.json           result artifact (same schema as rmp_run)
+//   <spool>/failed/<id>.json            spec echo + named error for bad jobs
+//
+// Checkpoints are written at each job's `checkpoint_every` cadence (the
+// server-level default applies when the spec leaves it 0) and for every
+// active job on shutdown; writes go through a temp file + rename so a kill
+// mid-write never corrupts the previous checkpoint.  On restart, a job whose
+// work/ checkpoint exists resumes from it bit-exactly (Session::resume);
+// checkpoints that fail the envelope checks fail the job with the named
+// SpecError instead of silently restarting it.
+//
+// The scheduler itself is single-threaded and deterministic: tick() performs
+// one admission scan + one round-robin sweep and is directly testable
+// without signals or sleeps.  run() wraps tick() in a poll loop that drains
+// to checkpoints when `stop` becomes true (the CLI sets it from SIGTERM).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+
+namespace rmp::api {
+
+struct ServeOptions {
+  std::string spool;  ///< spool root; the five subdirectories live under it
+  /// Checkpoint cadence for jobs whose spec leaves checkpoint_every == 0.
+  /// 0 = such jobs checkpoint only on shutdown.
+  std::size_t default_checkpoint_every = 0;
+  /// Stop after this many epochs stepped across all jobs (0 = unlimited) —
+  /// a deterministic stand-in for "kill it mid-run" in tests and CI.
+  std::size_t step_limit = 0;
+  /// Exit run() once the spool is empty instead of polling for new jobs.
+  bool drain = false;
+  /// Idle poll interval for run(), in milliseconds.
+  std::size_t poll_ms = 200;
+};
+
+/// What one scheduling round did; returned by tick() so tests and the run()
+/// loop can observe progress without parsing the spool.
+struct TickReport {
+  std::size_t admitted = 0;   ///< jobs newly admitted (fresh or resumed)
+  std::size_t stepped = 0;    ///< epochs advanced across all jobs
+  std::size_t completed = 0;  ///< jobs that finished and wrote results
+  std::size_t failed = 0;     ///< jobs moved to failed/
+  std::size_t active = 0;     ///< jobs still in flight after the round
+};
+
+class JobServer {
+ public:
+  /// Creates the spool layout.  Throws SpecError when the spool root cannot
+  /// be set up.
+  explicit JobServer(ServeOptions options);
+
+  /// One deterministic scheduling round: admit new jobs/*.json (resuming
+  /// from work/ checkpoints when present), advance every active job one
+  /// epoch in admission order, append its progress event, checkpoint on
+  /// cadence, and complete/fail jobs as they finish.  Safe to call again
+  /// after it returns — the server holds all state between rounds.
+  TickReport tick();
+
+  /// Poll loop over tick().  Returns when `stop` becomes true (after
+  /// checkpointing every active job — the SIGTERM drain), when the step
+  /// limit is hit (same drain), or when draining and the spool is empty.
+  void run(const std::atomic<bool>& stop);
+
+  /// Serializes every active job to its work/ checkpoint (atomically).
+  void checkpoint_all();
+
+  [[nodiscard]] std::size_t active_jobs() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t total_stepped() const { return total_stepped_; }
+
+ private:
+  struct Job {
+    std::string id;         ///< jobs/<id>.json filename stem
+    Session session;
+    std::size_t cadence;    ///< effective checkpoint_every for this job
+  };
+
+  [[nodiscard]] std::string jobs_dir() const;
+  [[nodiscard]] std::string checkpoint_file(const std::string& id) const;
+  [[nodiscard]] std::string events_file(const std::string& id) const;
+  [[nodiscard]] std::string results_file(const std::string& id) const;
+  [[nodiscard]] std::string failed_file(const std::string& id) const;
+
+  void admit_new_jobs(TickReport& report);
+  void append_event(const Job& job);
+  void write_checkpoint(const Job& job);
+  /// Removes the job's spool presence and records the named error.
+  void fail_job(const std::string& id, const std::string& why,
+                TickReport& report);
+  void complete_job(Job& job, TickReport& report);
+
+  ServeOptions options_;
+  std::vector<Job> jobs_;  ///< admission order == round-robin order
+  std::size_t total_stepped_ = 0;
+};
+
+}  // namespace rmp::api

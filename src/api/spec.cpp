@@ -101,7 +101,8 @@ RunSpec spec_from_json(const Json& doc) {
   if (!doc.is_object()) throw SpecError("a run spec must be a JSON object");
   require_keys(doc,
                {"problem", "optimizer", "generations", "seed", "threads",
-                "include_decision_vectors", "cache", "prescreen", "mining",
+                "include_decision_vectors", "cache", "prescreen",
+                "checkpoint_every", "checkpoint_path", "mining",
                 "robustness"},
                "the run spec");
   RunSpec spec;
@@ -132,6 +133,12 @@ RunSpec spec_from_json(const Json& doc) {
   if (const Json* v = doc.find("prescreen")) {
     spec.prescreen = field("prescreen", [&] { return v->as_bool(); });
   }
+  if (const Json* v = doc.find("checkpoint_every")) {
+    spec.checkpoint_every = field("checkpoint_every", [&] { return v->as_size(); });
+  }
+  if (const Json* v = doc.find("checkpoint_path")) {
+    spec.checkpoint_path = field("checkpoint_path", [&] { return v->as_string(); });
+  }
   if (const Json* v = doc.find("mining")) spec.mining = mining_from_json(*v);
   if (const Json* v = doc.find("robustness")) {
     spec.robustness = robustness_from_json(*v);
@@ -158,6 +165,8 @@ Json spec_to_json(const RunSpec& spec) {
       .set("include_decision_vectors", spec.include_decision_vectors)
       .set("cache", spec.cache)
       .set("prescreen", spec.prescreen)
+      .set("checkpoint_every", spec.checkpoint_every)
+      .set("checkpoint_path", spec.checkpoint_path)
       .set("mining", Json::object()
                          .set("enabled", spec.mining.enabled)
                          .set("metric", to_string(spec.mining.metric)))

@@ -74,6 +74,15 @@ struct RunSpec {
   /// separately.  Rejected with SpecError when the problem has no
   /// prescreen.
   bool prescreen = false;
+  /// Checkpoint cadence: every N committed epochs the session serializes its
+  /// full run state (api::Session::checkpoint) to checkpoint_path.  0 = no
+  /// periodic checkpoints (the service still checkpoints on shutdown).
+  std::size_t checkpoint_every = 0;
+  /// Destination for periodic checkpoints; required (SpecError) when
+  /// checkpoint_every > 0 and the run is driven by api::run.  The service
+  /// layer supplies its own spool path, so specs submitted to rmp_serve may
+  /// set checkpoint_every alone.
+  std::string checkpoint_path;
   MiningSpec mining;
   RobustnessSpec robustness;
 };

@@ -1,5 +1,6 @@
 #include "core/json.hpp"
 
+#include <bit>
 #include <cassert>
 #include <charconv>
 #include <cmath>
@@ -299,6 +300,8 @@ Json Json::hex(std::uint64_t v) {
   return Json(std::string(buf));
 }
 
+Json Json::bits(double v) { return hex(std::bit_cast<std::uint64_t>(v)); }
+
 Json Json::parse(std::string_view text) { return Parser(text).run(); }
 
 Json& Json::push_back(Json v) {
@@ -371,6 +374,8 @@ double Json::as_double() const {
   if (kind_ != Kind::kDouble) type_error("number", kind_name());
   return double_;
 }
+
+double Json::as_double_bits() const { return std::bit_cast<double>(as_u64()); }
 
 const std::string& Json::as_string() const {
   if (kind_ != Kind::kString) type_error("string", kind_name());

@@ -57,6 +57,14 @@ class Json {
   /// exactly (doubles cap integer precision at 2^53).
   [[nodiscard]] static Json hex(std::uint64_t v);
 
+  /// Bit-exact double encoding: the IEEE-754 bit pattern as a hex() string.
+  /// The shortest-round-trip double writer already preserves every finite
+  /// value, but NaN/Inf serialize as null (JSON has no spelling for them)
+  /// and checkpoint state must survive those too (crowding distances are
+  /// +inf at front boundaries) as well as -0.0, whose sign participates in
+  /// bitwise cache keys.  Read back with as_double_bits().
+  [[nodiscard]] static Json bits(double v);
+
   /// Parses one complete JSON document; trailing non-whitespace is an error.
   /// Throws JsonError with the byte offset of the first offending character.
   [[nodiscard]] static Json parse(std::string_view text);
@@ -98,6 +106,8 @@ class Json {
   [[nodiscard]] std::uint64_t as_u64() const;
   /// Accepts ints too (5 reads as 5.0).
   [[nodiscard]] double as_double() const;
+  /// Reads a bits()-encoded double back to its exact bit pattern.
+  [[nodiscard]] double as_double_bits() const;
   [[nodiscard]] const std::string& as_string() const;
 
   /// Array/object element count; 0 for every scalar.

@@ -346,6 +346,15 @@ class C3Model {
   /// The epoch warm-start pool (tests and diagnostics).
   [[nodiscard]] const WarmStartPool& warm_pool() const { return warm_pool_; }
 
+  /// Checkpoint seam for the pool (const like commit_warm_starts, and for
+  /// the same reason: the pool is mutable accelerator state).  Forwards to
+  /// WarmStartPool::save_state / load_state — roots and cycle anchors
+  /// round-trip, the lazily-built LU caches rebuild on demand.
+  void save_pool_state(core::Json& out) const { warm_pool_.save_state(out); }
+  void load_pool_state(const core::Json& doc) const {
+    warm_pool_.load_state(doc);
+  }
+
   /// Steady-state CO2 uptake; 0 with converged=false propagated via optional.
   [[nodiscard]] std::optional<double> steady_uptake(std::span<const double> mult) const;
 

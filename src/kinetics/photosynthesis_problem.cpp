@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "moo/state.hpp"
+
 namespace rmp::kinetics {
 
 namespace {
@@ -97,6 +99,37 @@ moo::EvalStats PhotosynthesisProblem::eval_stats() const {
   s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
   s.full_evaluations = full_evaluations_.load(std::memory_order_relaxed);
   return s;
+}
+
+void PhotosynthesisProblem::save_state(core::Json& out) const {
+  out.set("kind", "photosynthesis");
+  core::Json pool = core::Json::object();
+  model_->save_pool_state(pool);
+  out.set("pool", std::move(pool));
+  out.set("evaluations", static_cast<std::uint64_t>(
+                             evaluations_.load(std::memory_order_relaxed)));
+  out.set("prescreen_skips",
+          static_cast<std::uint64_t>(
+              prescreen_skips_.load(std::memory_order_relaxed)));
+  out.set("pool_hits", static_cast<std::uint64_t>(
+                           pool_hits_.load(std::memory_order_relaxed)));
+  out.set("full_evaluations",
+          static_cast<std::uint64_t>(
+              full_evaluations_.load(std::memory_order_relaxed)));
+}
+
+void PhotosynthesisProblem::load_state(const core::Json& doc) const {
+  namespace state = moo::state;
+  state::require_tag(doc, "kind", "photosynthesis");
+  model_->load_pool_state(state::require(doc, "pool"));
+  evaluations_.store(state::require(doc, "evaluations").as_size(),
+                     std::memory_order_relaxed);
+  prescreen_skips_.store(state::require(doc, "prescreen_skips").as_size(),
+                         std::memory_order_relaxed);
+  pool_hits_.store(state::require(doc, "pool_hits").as_size(),
+                   std::memory_order_relaxed);
+  full_evaluations_.store(state::require(doc, "full_evaluations").as_size(),
+                          std::memory_order_relaxed);
 }
 
 std::size_t PhotosynthesisProblem::suggest_initial(std::span<num::Vec> out,

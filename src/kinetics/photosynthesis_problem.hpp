@@ -78,6 +78,13 @@ class PhotosynthesisProblem final : public moo::Problem {
   /// full_evaluations (cache_hits stays 0 — the cache layer sits above).
   [[nodiscard]] moo::EvalStats eval_stats() const override;
 
+  /// Checkpoint seam: the model's warm-start pool (roots + cycle anchors;
+  /// LU caches are derived state and rebuild on demand) plus the
+  /// instrumentation counters — restoring the counters is what makes a
+  /// resumed run's EvalStats totals identical to the uninterrupted run's.
+  void save_state(core::Json& out) const override;
+  void load_state(const core::Json& doc) const override;
+
   /// Honours the request (the tangent prescreen is always available here);
   /// margin/radius come from PhotosynthesisBounds.
   bool set_prescreen(bool enabled) const override {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/sentinel.hpp"
+#include "moo/state.hpp"
 
 namespace rmp::kinetics {
 
@@ -151,6 +152,65 @@ std::size_t WarmStartPool::snapshot_cycle_count() const {
 std::size_t WarmStartPool::pending_size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return pending_.size();
+}
+
+void WarmStartPool::save_state(core::Json& out) const {
+  namespace state = moo::state;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!pending_.empty()) {
+    throw moo::StateError(
+        "checkpoint: WarmStartPool has staged entries — save_state is "
+        "epoch-barrier only");
+  }
+  out.set("kind", "warm_pool");
+  core::Json entries = core::Json::array();
+  if (snapshot_) {
+    for (const auto& e : *snapshot_) {
+      core::Json entry = core::Json::object();
+      entry.set("key", state::doubles_to_json(e->key));
+      entry.set("state", state::doubles_to_json(e->state));
+      if (e->cycle) {
+        entry.set("cycle_point", state::doubles_to_json(e->cycle_point));
+        entry.set("period", core::Json::bits(e->period));
+        entry.set("mean_uptake", core::Json::bits(e->mean_uptake));
+      }
+      entries.push_back(std::move(entry));
+    }
+  }
+  out.set("entries", std::move(entries));
+}
+
+void WarmStartPool::load_state(const core::Json& doc) {
+  namespace state = moo::state;
+  state::require_tag(doc, "kind", "warm_pool");
+  const core::Json& entries = state::require(doc, "entries");
+  if (!entries.is_array()) {
+    throw moo::StateError("checkpoint: warm_pool entries must be an array");
+  }
+  if (entries.size() > capacity_) {
+    throw moo::StateError("checkpoint: warm_pool holds " +
+                          std::to_string(entries.size()) +
+                          " entries but the configured capacity is " +
+                          std::to_string(capacity_));
+  }
+  auto next = std::make_shared<Snapshot>();
+  next->reserve(entries.size());
+  for (const core::Json& item : entries.items()) {
+    auto e = std::make_shared<Entry>();
+    e->key = state::doubles_from_json(state::require(item, "key"));
+    e->state = state::doubles_from_json(state::require(item, "state"));
+    e->root_cache = std::make_shared<RootCache>();
+    if (const core::Json* point = item.find("cycle_point")) {
+      e->cycle = true;
+      e->cycle_point = state::doubles_from_json(*point);
+      e->period = state::require(item, "period").as_double_bits();
+      e->mean_uptake = state::require(item, "mean_uptake").as_double_bits();
+    }
+    next->push_back(std::move(e));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  snapshot_ = next->empty() ? nullptr : std::move(next);
 }
 
 }  // namespace rmp::kinetics

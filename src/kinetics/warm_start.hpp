@@ -40,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "core/json.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/vec.hpp"
 
@@ -138,6 +139,23 @@ class WarmStartPool {
 
   /// Drops the snapshot and any staged entries.
   void clear();
+
+  /// Serializes the committed snapshot in snapshot order — the order is
+  /// semantic (nearest() breaks distance ties toward the lowest index and
+  /// capacity eviction is FIFO off the front), so it must survive the
+  /// round-trip.  Roots save (key, state); cycle anchors additionally save
+  /// (cycle_point, period, mean_uptake).  The per-entry RootCache LU
+  /// factorizations are deliberately NOT serialized: each is a lazily-built
+  /// pure function of its own entry (call_once at first use), i.e. derived
+  /// state — a resumed run rebuilds them on demand and every solve still
+  /// reproduces the uninterrupted run bitwise.  Checkpoint precondition:
+  /// staging must be empty (it always is at an epoch barrier); throws
+  /// moo::StateError otherwise.
+  void save_state(core::Json& out) const;
+
+  /// Restores a save_state() document; every entry gets a fresh, unbuilt
+  /// RootCache.  Rejects documents larger than the configured capacity.
+  void load_state(const core::Json& doc);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t snapshot_size() const;

@@ -31,6 +31,7 @@
 
 #include "moo/individual.hpp"
 #include "moo/problem.hpp"
+#include "moo/state.hpp"
 
 namespace rmp::moo {
 
@@ -68,6 +69,26 @@ class Optimizer {
   [[nodiscard]] virtual std::size_t evaluations() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Serializes the engine's complete run state into `out` (an object the
+  /// caller owns): population(s), RNG stream positions, evaluation counters
+  /// — everything a freshly constructed engine of the same configuration
+  /// needs to continue the run bit-exactly.  Must only be called at an epoch
+  /// boundary (after a committed step(), never mid-step).  Engines without
+  /// checkpoint support throw StateError — resumability is opt-in, and a
+  /// silently empty checkpoint would masquerade as a restartable run.
+  virtual void save_state(core::Json& /*out*/) const {
+    throw StateError(name() + " does not support save_state");
+  }
+
+  /// Restores a save_state() document into this engine, replacing
+  /// initialize(): construct with the same configuration, then load_state()
+  /// instead of initialize(), then step() continues the original run.
+  /// Throws StateError when the document was saved by a different engine
+  /// kind or does not match the constructed configuration.
+  virtual void load_state(const core::Json& /*doc*/) {
+    throw StateError(name() + " does not support load_state");
+  }
 
   /// Runs initialize() + `generations` steps, invoking `observer` after each
   /// committed generation — the per-generation hook that lets Pmo2 keep its

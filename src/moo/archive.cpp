@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "moo/dominance.hpp"
+#include "moo/state.hpp"
 
 namespace rmp::moo {
 
@@ -181,20 +182,29 @@ void Archive::merge_batch(std::span<const Individual> candidates) {
 }
 
 std::uint64_t Archive::fingerprint() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
-  const auto mix = [&h](double value) {
-    std::uint64_t v = std::bit_cast<std::uint64_t>(value);
-    for (int b = 0; b < 8; ++b) {
-      h ^= (v >> (8 * b)) & 0xffULL;
-      h *= 0x100000001b3ULL;  // FNV prime
-    }
-  };
-  for (const Individual& m : members_) {
-    for (const double d : m.x) mix(d);
-    for (const double d : m.f) mix(d);
-    mix(m.violation);
+  // The free function (moo/state.hpp) owns the hash so progress events can
+  // fingerprint raw population spans with the same identity.
+  return moo::fingerprint(members_);
+}
+
+void Archive::save_state(core::Json& out) const {
+  out.set("kind", "archive");
+  out.set("members", state::population_to_json(members_));
+  out.set("fingerprint", core::Json::hex(fingerprint()));
+}
+
+void Archive::load_state(const core::Json& doc) {
+  state::require_tag(doc, "kind", "archive");
+  const std::uint64_t saved = state::require(doc, "fingerprint").as_u64();
+  std::vector<Individual> members =
+      state::population_from_json(state::require(doc, "members"));
+  const std::uint64_t derived = moo::fingerprint(members);
+  if (derived != saved) {
+    throw StateError("checkpoint: archive fingerprint mismatch (saved " +
+                     core::Json::hex(saved).as_string() + ", re-derived " +
+                     core::Json::hex(derived).as_string() + ")");
   }
-  return h;
+  members_ = std::move(members);
 }
 
 void Archive::prune() {

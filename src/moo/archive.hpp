@@ -41,6 +41,7 @@
 #include <span>
 #include <vector>
 
+#include "core/json.hpp"
 #include "moo/individual.hpp"
 
 namespace rmp::moo {
@@ -91,6 +92,18 @@ class Archive {
   [[nodiscard]] std::uint64_t fingerprint() const;
 
   void clear() { members_.clear(); }
+
+  /// Serializes the members (canonical order is the stored order, so this is
+  /// a plain array round-trip) plus the fingerprint for the load-time
+  /// cross-check.  Capacity and merge policy are construction configuration,
+  /// not state — the restoring caller rebuilds them from its spec.
+  void save_state(core::Json& out) const;
+
+  /// Replaces the members with a save_state() document, then re-derives the
+  /// fingerprint and cross-checks it against the saved one — a corrupted or
+  /// hand-edited checkpoint fails loudly (moo::StateError) instead of
+  /// resuming a silently different run.
+  void load_state(const core::Json& doc);
 
  private:
   /// Batch path: front-filter the candidates, then staircase-merge (2-obj)

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "moo/state.hpp"
+
 namespace rmp::moo {
 
 CachedProblem::CachedProblem(std::shared_ptr<const Problem> inner,
@@ -53,6 +55,22 @@ EvalStats CachedProblem::eval_stats() const {
   }
   s.evaluations = cs.hits + cs.misses;
   return s;
+}
+
+void CachedProblem::save_state(core::Json& out) const {
+  out.set("kind", "cached_problem");
+  core::Json inner = core::Json::object();
+  inner_->save_state(inner);
+  out.set("inner", std::move(inner));
+  core::Json cache = core::Json::object();
+  cache_.save_state(cache);
+  out.set("cache", std::move(cache));
+}
+
+void CachedProblem::load_state(const core::Json& doc) const {
+  state::require_tag(doc, "kind", "cached_problem");
+  inner_->load_state(state::require(doc, "inner"));
+  cache_.load_state(state::require(doc, "cache"));
 }
 
 }  // namespace rmp::moo

@@ -84,6 +84,13 @@ class CachedProblem final : public Problem {
     return inner_->last_result_memoizable();
   }
 
+  /// Checkpoint seam: the inner problem's accelerator state (warm pool,
+  /// counters) plus the cache's committed snapshot — restoring both is what
+  /// keeps a resumed run's EvalStats and trajectory identical to the
+  /// uninterrupted one.
+  void save_state(core::Json& out) const override;
+  void load_state(const core::Json& doc) const override;
+
   [[nodiscard]] const EvalCache& cache() const { return cache_; }
 
  private:

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/sentinel.hpp"
+#include "moo/state.hpp"
 
 namespace rmp::moo {
 
@@ -159,6 +160,75 @@ void EvalCache::clear() {
   evicted_ = 0;
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+}
+
+void EvalCache::save_state(core::Json& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pending_.empty()) {
+    throw StateError(
+        "checkpoint: EvalCache has staged entries — save_state is "
+        "epoch-barrier only");
+  }
+  out.set("kind", "evalcache");
+  core::Json entries = core::Json::array();
+  if (snapshot_) {
+    for (const auto& e : snapshot_->entries) {
+      core::Json entry = core::Json::object();
+      entry.set("key", state::doubles_to_json(e->key));
+      entry.set("f", state::doubles_to_json(e->f));
+      entry.set("violation", core::Json::bits(e->violation));
+      entries.push_back(std::move(entry));
+    }
+  }
+  out.set("entries", std::move(entries));
+  out.set("hits",
+          static_cast<std::uint64_t>(hits_.load(std::memory_order_relaxed)));
+  out.set("misses",
+          static_cast<std::uint64_t>(misses_.load(std::memory_order_relaxed)));
+  out.set("committed", static_cast<std::uint64_t>(committed_));
+  out.set("evicted", static_cast<std::uint64_t>(evicted_));
+}
+
+void EvalCache::load_state(const core::Json& doc) {
+  state::require_tag(doc, "kind", "evalcache");
+  const core::Json& entries = state::require(doc, "entries");
+  if (!entries.is_array()) {
+    throw StateError("checkpoint: evalcache entries must be an array");
+  }
+  if (capacity_ == 0 && entries.size() > 0) {
+    throw StateError(
+        "checkpoint: evalcache state restored into a disabled cache");
+  }
+  if (capacity_ != 0 && entries.size() > capacity_) {
+    throw StateError("checkpoint: evalcache holds " +
+                     std::to_string(entries.size()) +
+                     " entries but the configured capacity is " +
+                     std::to_string(capacity_));
+  }
+  auto next = std::make_shared<Snapshot>();
+  next->entries.reserve(entries.size());
+  for (const core::Json& item : entries.items()) {
+    auto e = std::make_shared<Entry>();
+    e->key = state::doubles_from_json(state::require(item, "key"));
+    e->f = state::doubles_from_json(state::require(item, "f"));
+    e->violation = state::require(item, "violation").as_double_bits();
+    next->entries.push_back(std::move(e));
+  }
+  next->index.reserve(next->entries.size());
+  for (std::size_t i = 0; i < next->entries.size(); ++i) {
+    next->index.emplace(next->entries[i].get(), i);
+  }
+  const std::uint64_t hits = state::require(doc, "hits").as_u64();
+  const std::uint64_t misses = state::require(doc, "misses").as_u64();
+  const std::uint64_t committed = state::require(doc, "committed").as_u64();
+  const std::uint64_t evicted = state::require(doc, "evicted").as_u64();
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  snapshot_ = next->entries.empty() ? nullptr : std::move(next);
+  committed_ = static_cast<std::size_t>(committed);
+  evicted_ = static_cast<std::size_t>(evicted);
+  hits_.store(static_cast<std::size_t>(hits), std::memory_order_relaxed);
+  misses_.store(static_cast<std::size_t>(misses), std::memory_order_relaxed);
 }
 
 std::size_t EvalCache::snapshot_size() const {

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/json.hpp"
 #include "numeric/vec.hpp"
 
 namespace rmp::moo {
@@ -99,6 +100,20 @@ class EvalCache {
 
   /// Drops the snapshot, staged entries and counters.
   void clear();
+
+  /// Serializes the committed snapshot (entries in commit order — that order
+  /// IS the FIFO eviction order, so it must survive the round-trip) plus the
+  /// hit/miss/committed/evicted counters.  Checkpoint precondition: staging
+  /// must be empty — it always is at an epoch barrier — and the call throws
+  /// moo::StateError otherwise rather than capture arrival-ordered
+  /// mid-epoch state.
+  void save_state(core::Json& out) const;
+
+  /// Restores a save_state() document: rebuilds the snapshot and its
+  /// exact-key index, restores the counters.  The capacity stays the
+  /// constructed one (configuration, not state); a document larger than the
+  /// capacity is rejected as a configuration mismatch.
+  void load_state(const core::Json& doc);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] bool enabled() const { return capacity_ != 0; }

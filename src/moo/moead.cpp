@@ -197,4 +197,55 @@ void Moead::inject(std::span<const Individual> immigrants) {
   }
 }
 
+void Moead::save_state(core::Json& out) const {
+  out.set("engine", "moead");
+  out.set("rng", state::rng_to_json(rng_));
+  out.set("population", state::population_to_json(pop_));
+  core::Json weights = core::Json::array();
+  for (const num::Vec& w : weights_) {
+    weights.push_back(state::doubles_to_json(w));
+  }
+  out.set("weights", std::move(weights));
+  out.set("ideal", state::doubles_to_json(ideal_));
+  out.set("evaluations", static_cast<std::uint64_t>(evaluations_));
+}
+
+void Moead::load_state(const core::Json& doc) {
+  state::require_tag(doc, "engine", "moead");
+  std::vector<Individual> pop =
+      state::population_from_json(state::require(doc, "population"));
+  if (pop.size() != opts_.population_size) {
+    throw StateError("checkpoint: moead population size " +
+                     std::to_string(pop.size()) + " != configured " +
+                     std::to_string(opts_.population_size));
+  }
+  const core::Json& weights_doc = state::require(doc, "weights");
+  if (!weights_doc.is_array() || weights_doc.size() != opts_.population_size) {
+    throw StateError(
+        "checkpoint: moead weight lattice does not match the configured "
+        "subproblem count");
+  }
+  std::vector<num::Vec> weights;
+  weights.reserve(weights_doc.size());
+  for (const core::Json& w : weights_doc.items()) {
+    weights.push_back(state::doubles_from_json(w));
+  }
+  num::Vec ideal = state::doubles_from_json(state::require(doc, "ideal"));
+  for (const Individual& ind : pop) {
+    if (ind.x.size() != problem_.num_variables() ||
+        ind.f.size() != problem_.num_objectives()) {
+      throw StateError("checkpoint: moead individual dimensions do not match "
+                       "the constructed problem");
+    }
+  }
+  state::rng_from_json(state::require(doc, "rng"), rng_);
+  evaluations_ = state::require(doc, "evaluations").as_size();
+  pop_ = std::move(pop);
+  weights_ = std::move(weights);
+  ideal_ = std::move(ideal);
+  // Derived state: the neighborhood lists are a pure function of the weight
+  // lattice, so they rebuild instead of round-tripping.
+  build_neighborhoods();
+}
+
 }  // namespace rmp::moo

@@ -44,6 +44,15 @@ class Moead final : public Algorithm {
   [[nodiscard]] std::size_t evaluations() const override { return evaluations_; }
   [[nodiscard]] std::string name() const override { return "MOEA/D"; }
 
+  /// Serializes rng + population + weight lattice + ideal point +
+  /// evaluations.  The weights are state, not configuration: build_weights()
+  /// consumes RNG draws when the lattice underfills (m >= 3), so re-running
+  /// it on load would double-consume the restored stream.  The neighborhood
+  /// lists are NOT serialized — build_neighborhoods() is a pure function of
+  /// the weights and is re-derived after they load.
+  void save_state(core::Json& out) const override;
+  void load_state(const core::Json& doc) override;
+
   /// Scalarized cost of objective vector f for subproblem i (exposed for
   /// tests).
   [[nodiscard]] double scalar_cost(std::span<const double> f, double violation,

@@ -139,4 +139,32 @@ void Nsga2::inject(std::span<const Individual> immigrants) {
   for (const auto& front : fronts) assign_crowding_distance(pop_, front);
 }
 
+void Nsga2::save_state(core::Json& out) const {
+  out.set("engine", "nsga2");
+  out.set("rng", state::rng_to_json(rng_));
+  out.set("population", state::population_to_json(pop_));
+  out.set("evaluations", static_cast<std::uint64_t>(evaluations_));
+}
+
+void Nsga2::load_state(const core::Json& doc) {
+  state::require_tag(doc, "engine", "nsga2");
+  std::vector<Individual> pop =
+      state::population_from_json(state::require(doc, "population"));
+  if (pop.size() != opts_.population_size) {
+    throw StateError("checkpoint: nsga2 population size " +
+                     std::to_string(pop.size()) + " != configured " +
+                     std::to_string(opts_.population_size));
+  }
+  for (const Individual& ind : pop) {
+    if (ind.x.size() != problem_.num_variables() ||
+        ind.f.size() != problem_.num_objectives()) {
+      throw StateError("checkpoint: nsga2 individual dimensions do not match "
+                       "the constructed problem");
+    }
+  }
+  state::rng_from_json(state::require(doc, "rng"), rng_);
+  evaluations_ = state::require(doc, "evaluations").as_size();
+  pop_ = std::move(pop);
+}
+
 }  // namespace rmp::moo

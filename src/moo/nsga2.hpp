@@ -40,6 +40,13 @@ class Nsga2 final : public Algorithm {
   [[nodiscard]] std::size_t evaluations() const override { return evaluations_; }
   [[nodiscard]] std::string name() const override { return "NSGA-II"; }
 
+  /// Serializes rng + population + evaluations.  The population keeps its
+  /// rank/crowding fields: binary tournaments read them between steps and
+  /// crowding was computed over the merged 2N pool of the previous
+  /// generation, so it is NOT re-derivable from the survivors.
+  void save_state(core::Json& out) const override;
+  void load_state(const core::Json& doc) override;
+
   [[nodiscard]] const Nsga2Options& options() const { return opts_; }
 
  private:

@@ -167,4 +167,41 @@ std::size_t Pmo2::evaluations() const {
   return total;
 }
 
+void Pmo2::save_state(core::Json& out) const {
+  out.set("engine", "pmo2");
+  out.set("rng", state::rng_to_json(rng_));
+  out.set("generation", static_cast<std::uint64_t>(generation_));
+  out.set("migrations", static_cast<std::uint64_t>(migrations_));
+  core::Json archive = core::Json::object();
+  archive_.save_state(archive);
+  out.set("archive", std::move(archive));
+  core::Json islands = core::Json::array();
+  for (const auto& island : islands_) {
+    core::Json island_state = core::Json::object();
+    island->save_state(island_state);
+    islands.push_back(std::move(island_state));
+  }
+  out.set("islands", std::move(islands));
+}
+
+void Pmo2::load_state(const core::Json& doc) {
+  state::require_tag(doc, "engine", "pmo2");
+  const core::Json& islands = state::require(doc, "islands");
+  if (!islands.is_array() || islands.size() != islands_.size()) {
+    throw StateError("checkpoint: pmo2 saved " +
+                     std::to_string(islands.size()) +
+                     " islands but the configuration has " +
+                     std::to_string(islands_.size()));
+  }
+  // Restore the archive first: its fingerprint cross-check is the cheapest
+  // corruption detector, and a failure leaves the islands untouched.
+  archive_.load_state(state::require(doc, "archive"));
+  for (std::size_t i = 0; i < islands_.size(); ++i) {
+    islands_[i]->load_state(islands.at(i));
+  }
+  state::rng_from_json(state::require(doc, "rng"), rng_);
+  generation_ = state::require(doc, "generation").as_size();
+  migrations_ = state::require(doc, "migrations").as_size();
+}
+
 }  // namespace rmp::moo

@@ -135,6 +135,18 @@ class Pmo2 final : public Optimizer {
 
   [[nodiscard]] std::string name() const override { return "PMO2"; }
 
+  /// Recursive checkpoint: the migration RNG stream, epoch index, migration
+  /// counter, the global archive (fingerprint cross-checked on load) and
+  /// every island engine's own save_state, in island-index order.  Must be
+  /// called at an epoch boundary (after a committed step()).
+  void save_state(core::Json& out) const override;
+
+  /// Restores into freshly constructed islands (same factory, same spec),
+  /// replacing initialize(); step() then continues the original run —
+  /// bit-exactly, for any island_threads value, because all serialized
+  /// state moves only at the serial barriers.
+  void load_state(const core::Json& doc) override;
+
   [[nodiscard]] const Archive& archive() const { return archive_; }
   [[nodiscard]] std::size_t evaluations() const override;
   [[nodiscard]] std::size_t num_islands() const { return islands_.size(); }

@@ -12,6 +12,7 @@
 #include <span>
 #include <string>
 
+#include "core/json.hpp"
 #include "numeric/rng.hpp"
 #include "numeric/vec.hpp"
 
@@ -81,6 +82,19 @@ class Problem {
   /// implementation refuses (no prescreen available), letting callers
   /// detect unsupported spec knobs instead of silently ignoring them.
   virtual bool set_prescreen(bool /*enabled*/) const { return false; }
+
+  /// Serializes the problem's mutable accelerator state (warm-start pool,
+  /// evaluation cache snapshot, instrumentation counters) into `out` at an
+  /// epoch boundary.  const for the same reason commit_epoch() is: the
+  /// state captured lives in mutable epoch-committed members, and stateless
+  /// problems have nothing to save.  Default: nothing (pure analytic
+  /// problems are fully described by their construction).
+  virtual void save_state(core::Json& /*out*/) const {}
+
+  /// Restores a save_state() document.  Must be called before any
+  /// evaluate() of the resumed run; throws moo::StateError (state.hpp) on a
+  /// structural mismatch.  Default: nothing.
+  virtual void load_state(const core::Json& /*doc*/) const {}
 
   /// Whether the result of the most recent evaluate() call ON THE CALLING
   /// THREAD is bitwise-repeatable and may therefore be memoized by a

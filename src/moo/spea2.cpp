@@ -166,4 +166,38 @@ void Spea2::inject(std::span<const Individual> immigrants) {
   environmental_selection(all);
 }
 
+void Spea2::save_state(core::Json& out) const {
+  out.set("engine", "spea2");
+  out.set("rng", state::rng_to_json(rng_));
+  out.set("population", state::population_to_json(pop_));
+  out.set("archive", state::population_to_json(archive_));
+  out.set("evaluations", static_cast<std::uint64_t>(evaluations_));
+}
+
+void Spea2::load_state(const core::Json& doc) {
+  state::require_tag(doc, "engine", "spea2");
+  std::vector<Individual> pop =
+      state::population_from_json(state::require(doc, "population"));
+  std::vector<Individual> archive =
+      state::population_from_json(state::require(doc, "archive"));
+  if (pop.size() != opts_.population_size) {
+    throw StateError("checkpoint: spea2 population size " +
+                     std::to_string(pop.size()) + " != configured " +
+                     std::to_string(opts_.population_size));
+  }
+  for (const std::vector<Individual>* group : {&pop, &archive}) {
+    for (const Individual& ind : *group) {
+      if (ind.x.size() != problem_.num_variables() ||
+          ind.f.size() != problem_.num_objectives()) {
+        throw StateError("checkpoint: spea2 individual dimensions do not "
+                         "match the constructed problem");
+      }
+    }
+  }
+  state::rng_from_json(state::require(doc, "rng"), rng_);
+  evaluations_ = state::require(doc, "evaluations").as_size();
+  pop_ = std::move(pop);
+  archive_ = std::move(archive);
+}
+
 }  // namespace rmp::moo

@@ -40,6 +40,12 @@ class Spea2 final : public Algorithm {
   [[nodiscard]] std::size_t evaluations() const override { return evaluations_; }
   [[nodiscard]] std::string name() const override { return "SPEA2"; }
 
+  /// Serializes rng + working population + environmental archive +
+  /// evaluations (the archive carries the rank/crowding scratch the mating
+  /// tournaments read between steps).
+  void save_state(core::Json& out) const override;
+  void load_state(const core::Json& doc) override;
+
  private:
   /// SPEA2 fitness over pop+archive; lower is better; < 1 means non-dominated.
   [[nodiscard]] std::vector<double> fitness(std::span<const Individual> all) const;

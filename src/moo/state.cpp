@@ -1,0 +1,131 @@
+#include "moo/state.hpp"
+
+#include <bit>
+
+namespace rmp::moo {
+
+namespace state {
+
+core::Json doubles_to_json(std::span<const double> values) {
+  core::Json arr = core::Json::array();
+  for (const double v : values) arr.push_back(core::Json::bits(v));
+  return arr;
+}
+
+num::Vec doubles_from_json(const core::Json& doc) {
+  if (!doc.is_array()) {
+    throw StateError("checkpoint: expected double array, got " +
+                     std::string(doc.kind_name()));
+  }
+  num::Vec out;
+  out.reserve(doc.size());
+  for (const core::Json& item : doc.items()) out.push_back(item.as_double_bits());
+  return out;
+}
+
+core::Json individual_to_json(const Individual& ind) {
+  core::Json obj = core::Json::object();
+  obj.set("x", doubles_to_json(ind.x));
+  obj.set("f", doubles_to_json(ind.f));
+  obj.set("violation", core::Json::bits(ind.violation));
+  obj.set("rank", static_cast<std::uint64_t>(ind.rank));
+  obj.set("crowding", core::Json::bits(ind.crowding));
+  return obj;
+}
+
+Individual individual_from_json(const core::Json& doc) {
+  Individual ind;
+  ind.x = doubles_from_json(require(doc, "x"));
+  ind.f = doubles_from_json(require(doc, "f"));
+  ind.violation = require(doc, "violation").as_double_bits();
+  ind.rank = require(doc, "rank").as_size();
+  ind.crowding = require(doc, "crowding").as_double_bits();
+  return ind;
+}
+
+core::Json population_to_json(std::span<const Individual> pop) {
+  core::Json arr = core::Json::array();
+  for (const Individual& ind : pop) arr.push_back(individual_to_json(ind));
+  return arr;
+}
+
+std::vector<Individual> population_from_json(const core::Json& doc) {
+  if (!doc.is_array()) {
+    throw StateError("checkpoint: expected population array, got " +
+                     std::string(doc.kind_name()));
+  }
+  std::vector<Individual> pop;
+  pop.reserve(doc.size());
+  for (const core::Json& item : doc.items()) {
+    pop.push_back(individual_from_json(item));
+  }
+  return pop;
+}
+
+core::Json rng_to_json(const num::Rng& rng) {
+  const num::Rng::State s = rng.state();
+  core::Json obj = core::Json::object();
+  core::Json words = core::Json::array();
+  for (const std::uint64_t w : s.words) words.push_back(core::Json::hex(w));
+  obj.set("words", std::move(words));
+  obj.set("has_cached_normal", s.has_cached_normal);
+  obj.set("cached_normal", core::Json::bits(s.cached_normal));
+  return obj;
+}
+
+void rng_from_json(const core::Json& doc, num::Rng& rng) {
+  num::Rng::State s;
+  const core::Json& words = require(doc, "words");
+  if (!words.is_array() || words.size() != s.words.size()) {
+    throw StateError("checkpoint: rng state needs exactly 4 words");
+  }
+  for (std::size_t i = 0; i < s.words.size(); ++i) {
+    s.words[i] = words.at(i).as_u64();
+  }
+  s.has_cached_normal = require(doc, "has_cached_normal").as_bool();
+  s.cached_normal = require(doc, "cached_normal").as_double_bits();
+  rng.set_state(s);
+}
+
+const core::Json& require(const core::Json& doc, std::string_view key) {
+  if (!doc.is_object()) {
+    throw StateError("checkpoint: expected object holding \"" +
+                     std::string(key) + "\", got " +
+                     std::string(doc.kind_name()));
+  }
+  const core::Json* found = doc.find(key);
+  if (found == nullptr) {
+    throw StateError("checkpoint: missing key \"" + std::string(key) + "\"");
+  }
+  return *found;
+}
+
+void require_tag(const core::Json& doc, std::string_view key,
+                 std::string_view expected) {
+  const std::string& got = require(doc, key).as_string();
+  if (got != expected) {
+    throw StateError("checkpoint: " + std::string(key) + " mismatch: saved \"" +
+                     got + "\", restoring \"" + std::string(expected) + "\"");
+  }
+}
+
+}  // namespace state
+
+std::uint64_t fingerprint(std::span<const Individual> members) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](double value) {
+    std::uint64_t v = std::bit_cast<std::uint64_t>(value);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  for (const Individual& m : members) {
+    for (const double d : m.x) mix(d);
+    for (const double d : m.f) mix(d);
+    mix(m.violation);
+  }
+  return h;
+}
+
+}  // namespace rmp::moo

@@ -15,9 +15,37 @@ namespace rmp::num {
 
 class Rng {
  public:
+  /// Full engine state for checkpoint/resume.  A restored engine continues
+  /// the exact stream it was saved from: the xoshiro words capture the raw
+  /// u64 position and the cached-normal pair captures the half-consumed
+  /// Marsaglia polar draw (normal() produces two values per rejection loop
+  /// and banks the second).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
 
   void reseed(std::uint64_t seed);
+
+  /// Snapshot of the complete stream position.
+  [[nodiscard]] State state() const {
+    return State{state_, has_cached_normal_, cached_normal_};
+  }
+
+  /// Restores a state() snapshot.  Rejects the all-zero xoshiro state (it is
+  /// a fixed point the seeding path never produces) by falling back to the
+  /// same {1,0,0,0} escape reseed() uses.
+  void set_state(const State& s) {
+    state_ = s.words;
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+      state_[0] = 1;
+    }
+    has_cached_normal_ = s.has_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
 
   /// Next raw 64-bit value.
   [[nodiscard]] std::uint64_t next_u64();

@@ -1,0 +1,225 @@
+// api::JobServer — spool admission, epoch-fair round-robin, checkpointed
+// kill/restart recovery, event streams, and the failed-job path.  tick() is
+// deterministic, so everything here runs without signals, sleeps, or real
+// daemon processes (ci/build.sh smokes the actual rmp_serve binary with a
+// real SIGTERM).
+#include "api/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+#include "api/spec.hpp"
+#include "core/json.hpp"
+
+namespace rmp::api {
+namespace {
+
+namespace fs = std::filesystem;
+
+RunSpec job_spec(std::uint64_t seed) {
+  RunSpec spec;
+  spec.problem = "zdt1?n=6";
+  spec.optimizer = "nsga2?population=16";
+  spec.generations = 8;
+  spec.seed = seed;
+  spec.threads = 1;
+  return spec;
+}
+
+/// Fresh spool directory per test case.
+std::string make_spool(const std::string& name) {
+  const std::string spool = testing::TempDir() + "rmp_serve_" + name;
+  fs::remove_all(spool);
+  fs::create_directories(spool);
+  return spool;
+}
+
+void submit(const std::string& spool, const std::string& id,
+            const core::Json& doc) {
+  fs::create_directories(spool + "/jobs");
+  std::ofstream out(spool + "/jobs/" + id + ".json");
+  out << doc.dump(2) << "\n";
+}
+
+/// Ticks until the spool drains (or the round budget proves it wedged).
+void drain(JobServer& server) {
+  for (int round = 0; round < 200; ++round) {
+    const TickReport report = server.tick();
+    if (report.active == 0 && report.admitted == 0 && report.stepped == 0) {
+      return;
+    }
+  }
+  FAIL() << "server did not drain within the round budget";
+}
+
+std::uint64_t result_fingerprint(const std::string& spool,
+                                 const std::string& id) {
+  const core::Json doc =
+      core::load_json_file(spool + "/results/" + id + ".json");
+  return doc.at("fingerprint").as_u64();
+}
+
+TEST(JobServerTest, TwoJobsDrainToValidatedResults) {
+  const std::string spool = make_spool("two_jobs");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+  submit(spool, "beta", spec_to_json(job_spec(12)));
+
+  JobServer server(ServeOptions{spool});
+  drain(server);
+
+  // Both results validate and match a direct api::run of the same spec.
+  EXPECT_EQ(result_fingerprint(spool, "alpha"), run(job_spec(11)).fingerprint);
+  EXPECT_EQ(result_fingerprint(spool, "beta"), run(job_spec(12)).fingerprint);
+  // Completed jobs leave the queue and the work directory.
+  EXPECT_FALSE(fs::exists(spool + "/jobs/alpha.json"));
+  EXPECT_FALSE(fs::exists(spool + "/work/alpha.checkpoint.json"));
+}
+
+TEST(JobServerTest, RoundRobinInterleavesJobsFairly) {
+  const std::string spool = make_spool("fairness");
+  submit(spool, "a", spec_to_json(job_spec(1)));
+  submit(spool, "b", spec_to_json(job_spec(2)));
+
+  JobServer server(ServeOptions{spool});
+  const TickReport first = server.tick();
+  EXPECT_EQ(first.admitted, 2u);
+  // One epoch per active job per round — neither job can starve the other.
+  EXPECT_EQ(first.stepped, 2u);
+  EXPECT_EQ(server.tick().stepped, 2u);
+}
+
+TEST(JobServerTest, KillAndRestartResumesFromCheckpointsBitExactly) {
+  const std::string spool = make_spool("kill_restart");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+  submit(spool, "beta", spec_to_json(job_spec(12)));
+
+  {
+    // First server instance: stepped a few epochs, then "killed" — the
+    // shutdown drain writes work/ checkpoints mid-run.
+    JobServer first(ServeOptions{spool});
+    (void)first.tick();
+    (void)first.tick();
+    (void)first.tick();
+    EXPECT_EQ(first.active_jobs(), 2u);
+    first.checkpoint_all();
+  }
+  ASSERT_TRUE(fs::exists(spool + "/work/alpha.checkpoint.json"));
+  ASSERT_TRUE(fs::exists(spool + "/work/beta.checkpoint.json"));
+
+  // Second instance: resumes the spooled checkpoints, drains both jobs.
+  JobServer second(ServeOptions{spool});
+  drain(second);
+  EXPECT_EQ(result_fingerprint(spool, "alpha"), run(job_spec(11)).fingerprint);
+  EXPECT_EQ(result_fingerprint(spool, "beta"), run(job_spec(12)).fingerprint);
+}
+
+TEST(JobServerTest, StepLimitStopsTheRunLoopWithCheckpoints) {
+  const std::string spool = make_spool("step_limit");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+
+  ServeOptions options{spool};
+  options.step_limit = 3;
+  options.drain = true;
+  JobServer server(options);
+  const std::atomic<bool> stop{false};
+  server.run(stop);
+
+  EXPECT_EQ(server.total_stepped(), 3u);
+  EXPECT_TRUE(fs::exists(spool + "/work/alpha.checkpoint.json"));
+  EXPECT_FALSE(fs::exists(spool + "/results/alpha.json"));
+}
+
+TEST(JobServerTest, EventStreamCarriesPerEpochProgress) {
+  const std::string spool = make_spool("events");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+  JobServer server(ServeOptions{spool});
+  drain(server);
+
+  std::ifstream in(spool + "/events/alpha.jsonl");
+  ASSERT_TRUE(in.is_open());
+  std::vector<core::Json> events;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) events.push_back(core::Json::parse(line));
+  }
+  // One admission event (epoch 0) plus one per committed epoch.
+  ASSERT_EQ(events.size(), job_spec(11).generations + 1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at("epoch").as_size(), i);
+    EXPECT_EQ(events[i].at("job").as_string(), "alpha");
+    // Every event carries the full cumulative accounting breakdown.
+    const core::Json& stats = events[i].at("eval_stats");
+    EXPECT_GE(stats.at("evaluations").as_size(),
+              i > 0 ? events[i - 1].at("eval_stats").at("evaluations").as_size()
+                    : 0u);
+  }
+}
+
+TEST(JobServerTest, MalformedJobsFailLoudlyAndKeepTheSchedulerAlive) {
+  const std::string spool = make_spool("bad_jobs");
+  fs::create_directories(spool + "/jobs");
+  {
+    std::ofstream out(spool + "/jobs/broken.json");
+    out << "{not json";
+  }
+  {
+    std::ofstream out(spool + "/jobs/typo.json");
+    out << R"({"problem": "zdt1", "generatoins": 5})";
+  }
+  submit(spool, "good", spec_to_json(job_spec(11)));
+
+  JobServer server(ServeOptions{spool});
+  drain(server);
+
+  // Bad jobs moved aside with a named error; the good one still completed.
+  EXPECT_TRUE(fs::exists(spool + "/failed/broken.json"));
+  EXPECT_TRUE(fs::exists(spool + "/failed/typo.json"));
+  EXPECT_FALSE(fs::exists(spool + "/jobs/typo.json"));
+  const core::Json typo = core::load_json_file(spool + "/failed/typo.json");
+  EXPECT_NE(typo.at("error").as_string().find("generatoins"), std::string::npos);
+  EXPECT_TRUE(fs::exists(spool + "/results/good.json"));
+}
+
+TEST(JobServerTest, MismatchedCheckpointFailsTheJobInsteadOfRestarting) {
+  const std::string spool = make_spool("bad_ckpt");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+  {
+    JobServer first(ServeOptions{spool});
+    (void)first.tick();
+    first.checkpoint_all();
+  }
+  // Corrupt the spooled checkpoint's spec hash; the restarted server must
+  // reject the resume with the named error, not silently restart the run.
+  const std::string ckpt_path = spool + "/work/alpha.checkpoint.json";
+  core::Json ckpt = core::load_json_file(ckpt_path);
+  ckpt.set("spec_hash", core::Json::hex(0x1234ULL));
+  ASSERT_TRUE(core::write_json_file(ckpt_path, ckpt));
+
+  JobServer second(ServeOptions{spool});
+  drain(second);
+  ASSERT_TRUE(fs::exists(spool + "/failed/alpha.json"));
+  const core::Json failed = core::load_json_file(spool + "/failed/alpha.json");
+  EXPECT_NE(failed.at("error").as_string().find("spec_hash"), std::string::npos);
+  EXPECT_FALSE(fs::exists(spool + "/results/alpha.json"));
+}
+
+TEST(JobServerTest, SpecCheckpointCadenceWritesWorkFiles) {
+  const std::string spool = make_spool("cadence");
+  RunSpec spec = job_spec(11);
+  spec.checkpoint_every = 2;
+  submit(spool, "alpha", spec_to_json(spec));
+
+  JobServer server(ServeOptions{spool});
+  (void)server.tick();  // admit + epoch 1: no checkpoint yet
+  EXPECT_FALSE(fs::exists(spool + "/work/alpha.checkpoint.json"));
+  (void)server.tick();  // epoch 2: cadence hit
+  EXPECT_TRUE(fs::exists(spool + "/work/alpha.checkpoint.json"));
+}
+
+}  // namespace
+}  // namespace rmp::api

@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/json.hpp"
+#include "moo/state.hpp"
 #include "numeric/rng.hpp"
 
 namespace rmp::kinetics {
@@ -153,6 +155,54 @@ TEST(WarmStartPoolTest, ClearDropsSnapshotAndPending) {
   pool.clear();
   EXPECT_EQ(pool.snapshot_size(), 0u);
   EXPECT_EQ(pool.pending_size(), 0u);
+}
+
+TEST(WarmStartPoolTest, StateRoundTripKeepsRootsCyclesAndTieOrder) {
+  WarmStartPool a(8);
+  // Two roots committed in one batch (canonical order: (-1,0) then (1,0))
+  // plus one cycle anchor.
+  a.record(key1(1.0, 0.0), num::Vec{2.0});
+  a.record(key1(-1.0, 0.0), num::Vec{1.0});
+  a.record_cycle(key1(4.0, 4.0), num::Vec{9.0}, num::Vec{8.5}, 2.25, 0.75);
+  a.commit();
+
+  core::Json doc = core::Json::object();
+  a.save_state(doc);
+  WarmStartPool b(8);
+  b.load_state(core::Json::parse(doc.dump(2)));
+  EXPECT_EQ(b.snapshot_size(), a.snapshot_size());
+
+  // Snapshot order is semantic: the equidistant tie must still break toward
+  // the entry that was earlier in the original snapshot.
+  num::Vec start;
+  ASSERT_TRUE(b.nearest(key1(0.0, 0.0), start));
+  EXPECT_EQ(start, num::Vec{1.0});
+  // The cycle anchor round-trips with its orbit point, period, observable.
+  const WarmStartPool::Hit hit = b.nearest_cycle(key1(4.0, 4.0));
+  ASSERT_NE(hit.entry, nullptr);
+  EXPECT_TRUE(hit.entry->cycle);
+  EXPECT_EQ(hit.entry->state, num::Vec{9.0});
+  EXPECT_EQ(hit.entry->cycle_point, num::Vec{8.5});
+  EXPECT_EQ(hit.entry->period, 2.25);
+  EXPECT_EQ(hit.entry->mean_uptake, 0.75);
+}
+
+TEST(WarmStartPoolTest, SaveStateRequiresAnEpochBarrier) {
+  WarmStartPool pool(8);
+  pool.record(key1(1.0, 1.0), num::Vec{5.0});  // staged, not committed
+  core::Json doc = core::Json::object();
+  EXPECT_THROW(pool.save_state(doc), moo::StateError);
+}
+
+TEST(WarmStartPoolTest, LoadRejectsMoreEntriesThanCapacity) {
+  WarmStartPool a(8);
+  a.record(key1(1.0, 1.0), num::Vec{5.0});
+  a.record(key1(2.0, 2.0), num::Vec{6.0});
+  a.commit();
+  core::Json doc = core::Json::object();
+  a.save_state(doc);
+  WarmStartPool small(1);
+  EXPECT_THROW(small.load_state(doc), moo::StateError);
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 #include <span>
 #include <vector>
 
+#include "core/json.hpp"
 #include "moo/dominance.hpp"
+#include "moo/state.hpp"
 #include "numeric/rng.hpp"
 
 namespace rmp::moo {
@@ -283,6 +285,34 @@ TEST(ArchiveTest, ClearEmpties) {
   a.clear();
   EXPECT_TRUE(a.empty());
   EXPECT_TRUE(a.offer(make(2.0, 2.0)));
+}
+
+TEST(ArchiveTest, StateRoundTripPreservesFingerprintThroughText) {
+  Archive a;
+  a.offer(make(1.0, 3.0));
+  a.offer(make(3.0, 1.0));
+  a.offer(make(2.0, 2.0, 0.0));
+  core::Json doc = core::Json::object();
+  a.save_state(doc);
+
+  Archive b;
+  b.load_state(core::Json::parse(doc.dump(2)));
+  EXPECT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.fingerprint(), a.fingerprint());
+  // The restored archive keeps behaving like the original.
+  EXPECT_FALSE(b.offer(make(2.5, 2.5)));  // dominated by (2,2)
+}
+
+TEST(ArchiveTest, LoadRejectsTamperedMembers) {
+  Archive a;
+  a.offer(make(1.0, 3.0));
+  core::Json doc = core::Json::object();
+  a.save_state(doc);
+  // Fingerprint/content disagreement must be detected, not trusted.
+  doc.set("fingerprint", core::Json::hex(0xdeadbeefULL));
+  Archive b;
+  EXPECT_THROW(b.load_state(doc), StateError);
+  EXPECT_TRUE(b.empty());  // a failed load leaves the archive untouched
 }
 
 }  // namespace

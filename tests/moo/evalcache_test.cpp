@@ -11,8 +11,10 @@
 #include <cmath>
 #include <random>
 
+#include "core/json.hpp"
 #include "core/parallel.hpp"
 #include "moo/cached_problem.hpp"
+#include "moo/state.hpp"
 
 namespace rmp::moo {
 namespace {
@@ -332,6 +334,51 @@ TEST(CachedProblemTest, ForwardsProblemSurface) {
   EXPECT_EQ(cached.lower_bounds()[0], -1.0);
   EXPECT_EQ(cached.upper_bounds()[0], 1.0);
   EXPECT_FALSE(cached.set_prescreen(true));  // inner has none
+}
+
+TEST(EvalCacheTest, StateRoundTripKeepsEntriesCountersAndEvictionOrder) {
+  EvalCache a(2);
+  stage_derived(a, key({1.0}));
+  stage_derived(a, key({2.0}));
+  a.commit();
+  EXPECT_TRUE(probe(a, key({1.0})));   // a hit
+  EXPECT_FALSE(probe(a, key({9.0})));  // a miss
+
+  core::Json doc = core::Json::object();
+  a.save_state(doc);
+  EvalCache b(2);
+  b.load_state(core::Json::parse(doc.dump(2)));
+
+  EXPECT_TRUE(probe(b, key({1.0})));
+  EXPECT_TRUE(probe(b, key({2.0})));
+  EXPECT_FALSE(probe(b, key({9.0})));
+  // Eviction order survived: a third entry pushes out the OLDEST ({1.0}),
+  // exactly as it would have in the original cache.
+  stage_derived(b, key({3.0}));
+  b.commit();
+  EXPECT_FALSE(probe(b, key({1.0})));
+  EXPECT_TRUE(probe(b, key({2.0})));
+  EXPECT_TRUE(probe(b, key({3.0})));
+}
+
+TEST(EvalCacheTest, SaveStateIsEpochBarrierOnly) {
+  EvalCache cache(4);
+  stage_derived(cache, key({1.0}));  // staged, not committed
+  core::Json doc = core::Json::object();
+  EXPECT_THROW(cache.save_state(doc), StateError);
+  cache.commit();
+  EXPECT_NO_THROW(cache.save_state(doc));
+}
+
+TEST(EvalCacheTest, LoadRejectsMoreEntriesThanCapacity) {
+  EvalCache big(8);
+  stage_derived(big, key({1.0}));
+  stage_derived(big, key({2.0}));
+  big.commit();
+  core::Json doc = core::Json::object();
+  big.save_state(doc);
+  EvalCache small(1);
+  EXPECT_THROW(small.load_state(doc), StateError);
 }
 
 }  // namespace

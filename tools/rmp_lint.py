@@ -12,11 +12,13 @@ cheapest to catch *before* running anything, by scanning the source:
                         and indirect-call; solver paths take num::FunctionRef
                         or templated callables instead.
   entropy               No rand()/srand()/std::random_device or any other
-                        ambient entropy source anywhere in src/.  All
-                        randomness flows through num::Rng instances seeded
-                        from the run spec, or results are not reproducible.
+                        ambient entropy source anywhere in src/ or in the
+                        operator binaries under tools/.  All randomness flows
+                        through num::Rng instances seeded from the run spec,
+                        or results are not reproducible.
   wall-clock            No time()/clock()/gettimeofday()/std::chrono clock
-                        reads in src/.  Clock reads feeding anything but
+                        reads in src/ or tools/*.cpp.  Clock reads feeding
+                        anything but
                         operator-facing progress output make runs
                         time-dependent.  Timing-only uses carry
                         `// lint: allow(wall-clock) <reason>`.
@@ -341,6 +343,12 @@ def lint_repo(repo: Path, headers: bool, cxx: str) -> list[Violation]:
         print(f"rmp_lint: no src/ under {repo}", file=sys.stderr)
         sys.exit(2)
     files = sorted(p for p in src.rglob("*") if p.suffix in SRC_EXTS)
+    # Operator binaries (rmp_run, rmp_serve, ...) sit outside src/ but drive
+    # the same deterministic core; entropy and wall-clock reads there corrupt
+    # reproducibility just as surely, so they get those two rules.  The
+    # solver-local rules (std-function, unordered-iteration, mutable-audit)
+    # stay src/-only.
+    tool_files = sorted((repo / "tools").glob("*.cpp"))
     violations: list[Violation] = []
     for path in files:
         fl = FileLint(path, repo)
@@ -352,6 +360,11 @@ def lint_repo(repo: Path, headers: bool, cxx: str) -> list[Violation]:
         check_patterns(fl, "wall-clock", WALL_CLOCK_PATTERNS, violations)
         check_unordered_iteration(fl, violations)
         check_mutable_members(fl, violations)
+    for path in tool_files:
+        fl = FileLint(path, repo)
+        violations.extend(fl.annotation_violations)
+        check_patterns(fl, "entropy", ENTROPY_PATTERNS, violations)
+        check_patterns(fl, "wall-clock", WALL_CLOCK_PATTERNS, violations)
     if headers:
         check_headers_self_contained(repo, cxx, violations)
     return violations

@@ -2,6 +2,7 @@
 // in, a result JSON (front + fingerprint + mined candidates + timings) out.
 //
 //   rmp_run spec.json [--out result.json]   execute a spec
+//   rmp_run --resume ckpt.json [--out ...]  finish a checkpointed run
 //   rmp_run --list-problems                 registered problem names
 //   rmp_run --list-optimizers               registered optimizer names
 //   rmp_run --validate file.json            parse check (used by CI)
@@ -15,6 +16,7 @@
 
 #include "api/registry.hpp"
 #include "api/run.hpp"
+#include "api/session.hpp"
 #include "api/spec.hpp"
 #include "core/json.hpp"
 #include "core/report.hpp"
@@ -24,6 +26,7 @@ namespace {
 int usage(std::FILE* to) {
   std::fprintf(to,
                "usage: rmp_run <spec.json> [--out result.json]\n"
+               "       rmp_run --resume <checkpoint.json> [--out result.json]\n"
                "       rmp_run --list-problems | --list-optimizers\n"
                "       rmp_run --validate <file.json>\n"
                "\n"
@@ -62,27 +65,7 @@ int validate(const std::string& path) {
   return 0;
 }
 
-int execute(const std::string& spec_path, const std::string& out_path) {
-  if (!readable(spec_path)) {
-    std::fprintf(stderr, "error: cannot open %s\n", spec_path.c_str());
-    return 2;
-  }
-  rmp::api::RunSpec spec;
-  try {
-    spec = rmp::api::spec_from_json(rmp::core::load_json_file(spec_path));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s: %s\n", spec_path.c_str(), e.what());
-    return 1;
-  }
-
-  rmp::api::RunResult result;
-  try {
-    result = rmp::api::run(spec);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-
+int report(const rmp::api::RunResult& result, const std::string& out_path) {
   std::printf("problem:     %s\n", result.problem_name.c_str());
   std::printf("optimizer:   %s\n", result.optimizer_name.c_str());
   std::printf("front:       %zu points from %zu evaluations\n", result.front.size(),
@@ -112,6 +95,50 @@ int execute(const std::string& spec_path, const std::string& out_path) {
   return 0;
 }
 
+int execute(const std::string& spec_path, const std::string& out_path) {
+  if (!readable(spec_path)) {
+    std::fprintf(stderr, "error: cannot open %s\n", spec_path.c_str());
+    return 2;
+  }
+  rmp::api::RunSpec spec;
+  try {
+    spec = rmp::api::spec_from_json(rmp::core::load_json_file(spec_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", spec_path.c_str(), e.what());
+    return 1;
+  }
+
+  rmp::api::RunResult result;
+  try {
+    result = rmp::api::run(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return report(result, out_path);
+}
+
+/// Restores a Session::checkpoint() envelope and drives it to completion —
+/// the same resume path rmp_serve uses, minus the spool.
+int resume(const std::string& checkpoint_path, const std::string& out_path) {
+  if (!readable(checkpoint_path)) {
+    std::fprintf(stderr, "error: cannot open %s\n", checkpoint_path.c_str());
+    return 2;
+  }
+  rmp::api::RunResult result;
+  try {
+    rmp::api::Session session =
+        rmp::api::Session::resume(rmp::core::load_json_file(checkpoint_path));
+    std::printf("resumed at epoch %zu/%zu\n", session.epoch(),
+                session.total_epochs());
+    result = session.finish();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", checkpoint_path.c_str(), e.what());
+    return 1;
+  }
+  return report(result, out_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +158,15 @@ int main(int argc, char** argv) {
   if (args[0] == "--validate") {
     if (args.size() != 2) return usage(stderr);
     return validate(args[1]);
+  }
+  if (args[0] == "--resume") {
+    std::string out_path;
+    if (args.size() == 4 && args[2] == "--out") {
+      out_path = args[3];
+    } else if (args.size() != 2) {
+      return usage(stderr);
+    }
+    return resume(args[1], out_path);
   }
   if (args[0].starts_with("--")) return usage(stderr);
 
