@@ -4,8 +4,9 @@
 # full CTest suite (the tier-1 verify command), run the benchmark driver in
 # smoke mode so every CI run prints a BENCH_pmo2.json perf-trajectory record
 # (docs/BENCHMARKS.md), and finish with the two sanitizer lanes
-# (ASan+UBSan, then TSan).  ARCHITECTURE.md "Correctness tooling" maps each
-# step to the contract clause it enforces.
+# (ASan+UBSan — including the fault-injection chaos smoke over the
+# multi-worker spool — then TSan).  ARCHITECTURE.md "Correctness tooling"
+# maps each step to the contract clause it enforces.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -163,7 +164,8 @@ SAN_TESTS=(
   kinetics_problem_test kinetics_prescreen_test kinetics_warm_start_test
   moo_evalcache_test integration_cache_differential_test
   robustness_robustness_test
-  api_session_test api_serve_test)
+  api_session_test api_serve_test
+  core_fault_test api_chaos_test)
 
 # The phase-gate benchmark binaries must at least BUILD under each sanitizer
 # configuration — run_benchmarks.sh itself stays on the Release build, but a
@@ -171,22 +173,79 @@ SAN_TESTS=(
 # gate.
 BENCH_GATES=(pmo2_scaling archive_scaling kinetics_scaling eval_cache)
 
-# RMP_BUILD_BENCH=ON explicitly: it overrides the OFF a pre-existing lane
-# directory may still have cached (the bench gates below must build).
+# RMP_BUILD_BENCH=ON / RMP_BUILD_TOOLS=ON explicitly: they override the OFF
+# a pre-existing lane directory may still have cached (the bench gates below
+# must build, and the chaos smoke drives the sentinel-enabled rmp_serve /
+# rmp_run / rmp_trace_check binaries — fault hooks are compiled out of the
+# Release tools).
 cmake -B "${SAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRMP_SANITIZE=address,undefined \
   -DRMP_BUILD_EXAMPLES=OFF \
   -DRMP_BUILD_BENCH=ON \
-  -DRMP_BUILD_TOOLS=OFF
+  -DRMP_BUILD_TOOLS=ON
 
 cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" \
-  --target "${SAN_TESTS[@]}" "${BENCH_GATES[@]}"
+  --target "${SAN_TESTS[@]}" "${BENCH_GATES[@]}" \
+  rmp_serve rmp_run rmp_trace_check
 
 for t in "${SAN_TESTS[@]}"; do
   echo "== asan+ubsan: ${t} =="
   "${SAN_BUILD_DIR}/tests/${t}"
 done
+
+# Chaos smoke: the crash-safe spool end to end, through real processes.  A
+# worker is killed by an injected torn checkpoint write (RMP_FAULTS, fault
+# hooks live in this sentinel lane; the dedicated crash exit code is 70),
+# leaving a torn checkpoint at its final path and a dead worker's claim.
+# Two fresh workers then race to drain the spool: one must reclaim the
+# stale lease, quarantine the torn checkpoint, resume from the previous
+# good one, and finish with the exact fingerprint of an uninterrupted
+# direct run — and the event trace must conform to the protocol grammar.
+CHAOS_SPOOL="${SAN_BUILD_DIR}/chaos-spool"
+rm -rf "${CHAOS_SPOOL}"
+mkdir -p "${CHAOS_SPOOL}/jobs"
+cat > "${CHAOS_SPOOL}/jobs/chaos.json" <<'EOF'
+{"problem": "zdt1?n=6", "optimizer": "nsga2?population=16",
+ "generations": 40, "seed": 11, "threads": 1}
+EOF
+"${SAN_BUILD_DIR}/tools/rmp_run" "${CHAOS_SPOOL}/jobs/chaos.json" \
+  --out "${SAN_BUILD_DIR}/chaos-direct.json" > /dev/null
+
+set +e
+RMP_FAULTS="checkpoint.write:after=2:kind=torn" \
+  "${SAN_BUILD_DIR}/tools/rmp_serve" --spool "${CHAOS_SPOOL}" \
+  --checkpoint-every 2 --drain --poll-ms 20 --owner doomed
+CHAOS_RC=$?
+set -e
+if [ "${CHAOS_RC}" -ne 70 ]; then
+  echo "chaos smoke: injected torn checkpoint did not kill the worker (exit ${CHAOS_RC}, want 70)" >&2
+  exit 1
+fi
+sleep 2  # age the dead worker's heartbeat past the lease timeout below
+
+"${SAN_BUILD_DIR}/tools/rmp_serve" --spool "${CHAOS_SPOOL}" \
+  --lease-timeout-ms 1500 --drain --poll-ms 20 --owner chaosA &
+CHAOS_A=$!
+"${SAN_BUILD_DIR}/tools/rmp_serve" --spool "${CHAOS_SPOOL}" \
+  --lease-timeout-ms 1500 --drain --poll-ms 20 --owner chaosB &
+CHAOS_B=$!
+wait "${CHAOS_A}" || { echo "chaos smoke: worker A failed" >&2; exit 1; }
+wait "${CHAOS_B}" || { echo "chaos smoke: worker B failed" >&2; exit 1; }
+
+test -s "${CHAOS_SPOOL}/results/chaos.json" \
+  || { echo "chaos smoke: no result after recovery" >&2; exit 1; }
+test -e "${CHAOS_SPOOL}/work/chaos.corrupt.0" \
+  || { echo "chaos smoke: torn checkpoint was not quarantined" >&2; exit 1; }
+served=$(grep -o '"fingerprint": "0x[0-9a-f]*"' "${CHAOS_SPOOL}/results/chaos.json" | head -1)
+direct=$(grep -o '"fingerprint": "0x[0-9a-f]*"' "${SAN_BUILD_DIR}/chaos-direct.json" | head -1)
+if [ -z "${served}" ] || [ "${served}" != "${direct}" ]; then
+  echo "chaos smoke: recovered fingerprint '${served}' != direct '${direct}'" >&2
+  exit 1
+fi
+"${SAN_BUILD_DIR}/tools/rmp_trace_check" --spool "${CHAOS_SPOOL}" \
+  || { echo "chaos smoke: event trace violates the protocol grammar" >&2; exit 1; }
+echo "chaos smoke: torn checkpoint quarantined, lease reclaimed, fingerprint matched"
 
 # ThreadSanitizer lane over the concurrency-bearing binaries: the island
 # engine + migration topology (moo_pmo2), the epoch-committed caches

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "api/session.hpp"
+#include "core/fsio.hpp"
 #include "core/report.hpp"
 
 namespace rmp::api {
@@ -26,8 +27,14 @@ RunResult run(const RunSpec& spec, const Session::Observer& observer) {
     if (observer) observer(progress);
     const bool due = progress.epoch % spec.checkpoint_every == 0 ||
                      progress.epoch == progress.total_epochs;
-    if (due && !core::write_json_file(spec.checkpoint_path, session.checkpoint())) {
-      throw SpecError("cannot write checkpoint to \"" + spec.checkpoint_path + "\"");
+    if (!due) return;
+    try {
+      core::atomic_write_file(spec.checkpoint_path,
+                              session.checkpoint().dump(2) + "\n",
+                              "checkpoint.write");
+    } catch (const core::IoError& e) {
+      throw SpecError("cannot write checkpoint to \"" + spec.checkpoint_path +
+                      "\": " + e.what());
     }
   });
   return session.finish();

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/fault.hpp"
 #include "core/report.hpp"
 #include "moo/cached_problem.hpp"
 #include "moo/state.hpp"
@@ -126,6 +127,9 @@ Session::Session(RunSpec spec, ResumeTag) : spec_(std::move(spec)) {
 
 void Session::step_epoch() {
   assert(!done());
+  // Chaos-layer hook: an armed `solve.transient` site models a transient
+  // solver failure (kind=fail) or a worker dying mid-epoch (kind=crash).
+  core::fault_point("solve.transient");
   const auto start = clock::now();
   optimizer_->step();
   if (!cumulative_) archive_.offer_all(optimizer_->population());
@@ -163,6 +167,17 @@ core::Json Session::checkpoint() const {
   envelope.set("problem", std::move(problem));
   envelope.set("fingerprint", core::Json::hex(progress().fingerprint));
   return envelope;
+}
+
+core::Json load_checkpoint_file(const std::string& path) {
+  try {
+    return core::load_json_file(path);
+  } catch (const core::JsonError& e) {
+    // A torn or truncated checkpoint surfaces as a parse error; name the
+    // file and keep the parser's byte offset so the damage is locatable.
+    throw SpecError("checkpoint \"" + path + "\" is unreadable or corrupt: " +
+                    e.what());
+  }
 }
 
 Session Session::resume(const core::Json& checkpoint) {

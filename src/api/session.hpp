@@ -128,6 +128,13 @@ class Session {
 /// lives here because run.hpp predates the Session split.
 [[nodiscard]] RunResult run(const RunSpec& spec, const Session::Observer& observer);
 
+/// Loads a checkpoint envelope from disk for Session::resume.  A missing,
+/// unreadable, truncated, or otherwise unparseable file throws SpecError
+/// naming the file path and (for parse failures) the byte offset of the
+/// damage — never a raw JsonError.  Does NOT validate the envelope;
+/// Session::resume owns the semantic checks.
+[[nodiscard]] core::Json load_checkpoint_file(const std::string& path);
+
 /// Spec identity hash for the checkpoint envelope: FNV-1a over the
 /// canonical spec serialization with the checkpoint knobs normalized out
 /// (checkpoint_every/checkpoint_path steer WHERE state is written, not what

@@ -1,0 +1,296 @@
+#include "api/trace.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "core/json.hpp"
+
+namespace rmp::api {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void add(std::vector<TraceIssue>& issues, const std::string& job,
+         std::size_t line, std::string what) {
+  issues.push_back(TraceIssue{job, line, std::move(what)});
+}
+
+std::optional<std::size_t> epoch_of(const core::Json& event) {
+  const core::Json* epoch = event.find("epoch");
+  if (epoch == nullptr) return std::nullopt;
+  try {
+    return epoch->as_size();
+  } catch (const core::JsonError&) {
+    return std::nullopt;
+  }
+}
+
+bool is_segment_start(const std::string& type) {
+  return type == "admitted" || type == "resumed" || type == "reclaimed";
+}
+
+/// The grammar walk over one stream; reports the terminal type ("" when
+/// the stream is unterminated) for the spool-level artifact cross-checks.
+std::vector<TraceIssue> check_stream(const std::string& path,
+                                     const std::string& job_id,
+                                     bool require_terminal,
+                                     std::string& terminal_type) {
+  std::vector<TraceIssue> issues;
+  terminal_type.clear();
+  const std::string job = job_id.empty() ? fs::path(path).stem().string()
+                                         : job_id;
+
+  std::ifstream in(path);
+  if (!in) {
+    add(issues, job, 0, "cannot open event stream \"" + path + "\"");
+    return issues;
+  }
+
+  std::size_t lineno = 0;
+  std::size_t seen_max = 0;     // highest committed epoch seen
+  std::size_t prev = 0;         // position within the current segment
+  bool started = false;         // a segment-start has been seen
+  bool terminated = false;
+  std::vector<std::size_t> torn;  // unparseable lines awaiting resolution
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+
+    core::Json event;
+    try {
+      event = core::Json::parse(line);
+    } catch (const core::JsonError&) {
+      torn.push_back(lineno);
+      continue;
+    }
+
+    // A torn line is only legal when recovery follows it: the next
+    // parseable event must open a new segment (or record the failure).
+    if (!torn.empty()) {
+      const core::Json* t = event.find("type");
+      const std::string next_type =
+          (t != nullptr && t->is_string()) ? t->as_string() : "";
+      if (!is_segment_start(next_type) && next_type != "failed") {
+        for (const std::size_t torn_line : torn) {
+          add(issues, job, torn_line,
+              "torn line not followed by a segment start");
+        }
+      }
+      torn.clear();
+    }
+
+    if (!event.is_object()) {
+      add(issues, job, lineno, "event is not a JSON object");
+      continue;
+    }
+    const core::Json* type_field = event.find("type");
+    if (type_field == nullptr || !type_field->is_string()) {
+      add(issues, job, lineno, "event has no string \"type\"");
+      continue;
+    }
+    const std::string type = type_field->as_string();
+    const core::Json* job_field = event.find("job");
+    if (job_field == nullptr || !job_field->is_string() ||
+        job_field->as_string() != job) {
+      add(issues, job, lineno, "event \"job\" is not \"" + job + "\"");
+    }
+    const core::Json* worker = event.find("worker");
+    if (worker == nullptr || !worker->is_string() ||
+        worker->as_string().empty()) {
+      add(issues, job, lineno, "event has no \"worker\"");
+    }
+
+    if (terminated && type != "preempted") {
+      add(issues, job, lineno,
+          "event \"" + type + "\" after the terminal event");
+      continue;
+    }
+
+    const std::optional<std::size_t> epoch = epoch_of(event);
+    if (type == "admitted") {
+      if (!epoch || *epoch != 0) {
+        add(issues, job, lineno, "\"admitted\" must carry epoch 0");
+      }
+      prev = 0;
+      started = true;
+    } else if (type == "resumed" || type == "reclaimed") {
+      if (!epoch) {
+        add(issues, job, lineno, "\"" + type + "\" must carry an epoch");
+      } else {
+        if (*epoch > seen_max + 1) {
+          add(issues, job, lineno,
+              "\"" + type + "\" resumes at epoch " + std::to_string(*epoch) +
+                  " but only " + std::to_string(seen_max) +
+                  " epochs were ever committed");
+        }
+        prev = *epoch;
+        if (*epoch > seen_max) seen_max = *epoch;
+      }
+      started = true;
+    } else if (type == "epoch") {
+      if (!started) {
+        add(issues, job, lineno, "\"epoch\" before any segment start");
+      }
+      if (!epoch) {
+        add(issues, job, lineno, "\"epoch\" event without an epoch field");
+      } else {
+        if (started && *epoch != prev + 1) {
+          add(issues, job, lineno,
+              "epoch " + std::to_string(*epoch) + " does not follow " +
+                  std::to_string(prev));
+        }
+        prev = *epoch;
+        if (*epoch > seen_max) seen_max = *epoch;
+      }
+    } else if (type == "retry" || type == "released") {
+      if (!started) {
+        add(issues, job, lineno, "\"" + type + "\" before any segment start");
+      } else if (epoch && *epoch != prev) {
+        add(issues, job, lineno,
+            "\"" + type + "\" at epoch " + std::to_string(*epoch) +
+                " but the segment is at " + std::to_string(prev));
+      }
+    } else if (type == "preempted" || type == "quarantined") {
+      // Interleaved writers (the preempted old owner, recovery during
+      // adoption) — exempt from the segment epoch rules.
+    } else if (type == "completed") {
+      const core::Json* recovered = event.find("recovered");
+      const bool is_recovered = recovered != nullptr &&
+                                recovered->is_bool() && recovered->as_bool();
+      if (!is_recovered) {
+        if (!epoch) {
+          add(issues, job, lineno,
+              "\"completed\" without an epoch (and not recovered)");
+        } else if (started && *epoch != prev) {
+          add(issues, job, lineno,
+              "\"completed\" at epoch " + std::to_string(*epoch) +
+                  " but the segment is at " + std::to_string(prev));
+        }
+      }
+      terminated = true;
+      terminal_type = type;
+    } else if (type == "failed") {
+      terminated = true;
+      terminal_type = type;
+    } else {
+      add(issues, job, lineno, "unknown event type \"" + type + "\"");
+    }
+  }
+
+  // Unresolved torn lines are legal only as the very last line (the crash
+  // that tore them has not been recovered from yet).
+  for (std::size_t i = 0; i + 1 < torn.size(); ++i) {
+    add(issues, job, torn[i], "torn line not followed by a segment start");
+  }
+  if (!torn.empty() && require_terminal) {
+    add(issues, job, torn.back(),
+        "drained stream ends in a torn line with no recovery");
+  }
+  if (require_terminal && !terminated) {
+    add(issues, job, 0, "stream has no completed/failed terminal event");
+  }
+  return issues;
+}
+
+bool is_evidence_file(const std::string& name) {
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return name.size() >= s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".spec.json") || ends_with(".checkpoint.json") ||
+         ends_with(".checkpoint.prev.json");
+}
+
+}  // namespace
+
+std::vector<TraceIssue> verify_event_stream(const std::string& path,
+                                            const std::string& job_id,
+                                            bool require_terminal) {
+  std::string terminal;
+  return check_stream(path, job_id, require_terminal, terminal);
+}
+
+std::vector<TraceIssue> verify_spool_traces(const std::string& spool,
+                                            bool require_terminal) {
+  std::vector<TraceIssue> issues;
+  std::error_code ec;
+
+  std::vector<std::string> trace_ids;
+  for (fs::directory_iterator it(spool + "/events", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const fs::path& path = it->path();
+    if (path.extension() != ".jsonl") continue;
+    const std::string id = path.stem().string();
+    trace_ids.push_back(id);
+
+    std::string terminal;
+    auto stream_issues =
+        check_stream(path.string(), id, require_terminal, terminal);
+    issues.insert(issues.end(), stream_issues.begin(), stream_issues.end());
+
+    const bool has_result = fs::exists(spool + "/results/" + id + ".json");
+    const bool has_failure = fs::exists(spool + "/failed/" + id + ".json");
+    if (has_result && has_failure) {
+      add(issues, id, 0, "job has both a result and a failure record");
+    }
+    if (terminal == "completed" && !has_result) {
+      add(issues, id, 0, "trace says completed but results/" + id +
+                             ".json is missing");
+    }
+    if (terminal == "failed" && !has_failure) {
+      add(issues, id, 0,
+          "trace says failed but failed/" + id + ".json is missing");
+    }
+    if (require_terminal && terminal == "completed" && has_failure) {
+      add(issues, id, 0, "trace says completed but a failure record exists");
+    }
+  }
+
+  // Every terminal artifact must be accounted for by a trace.
+  for (const char* sub : {"results", "failed"}) {
+    std::error_code dir_ec;
+    for (fs::directory_iterator it(spool + "/" + sub, dir_ec), end;
+         !dir_ec && it != end; it.increment(dir_ec)) {
+      const std::string name = it->path().filename().string();
+      if (name.empty() || name.front() == '.') continue;
+      if (it->path().extension() != ".json" || is_evidence_file(name)) {
+        continue;
+      }
+      const std::string id = it->path().stem().string();
+      if (std::find(trace_ids.begin(), trace_ids.end(), id) ==
+          trace_ids.end()) {
+        add(issues, id, 0,
+            std::string(sub) + "/" + name + " has no event trace");
+      }
+    }
+  }
+
+  if (require_terminal) {
+    std::error_code jobs_ec;
+    for (fs::directory_iterator it(spool + "/jobs", jobs_ec), end;
+         !jobs_ec && it != end; it.increment(jobs_ec)) {
+      const std::string name = it->path().filename().string();
+      if (name.empty() || name.front() == '.') continue;
+      add(issues, it->path().stem().string(), 0,
+          "drained spool still has jobs/" + name);
+    }
+    std::error_code work_ec;
+    for (fs::directory_iterator it(spool + "/work", work_ec), end;
+         !work_ec && it != end; it.increment(work_ec)) {
+      const std::string name = it->path().filename().string();
+      if (name.find(".claim.") != std::string::npos && name.front() != '.') {
+        add(issues, name.substr(0, name.find(".claim.")), 0,
+            "drained spool still has a claim: work/" + name);
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace rmp::api

@@ -1,0 +1,51 @@
+// api::trace — conformance checking of rmp_serve event streams against the
+// spool protocol grammar (the CoCoMoT idea from PAPERS.md: validate the
+// observed trace against the process model, so a chaos run proves not just
+// "it finished" but "it finished by the rules").
+//
+// Grammar over events/<id>.jsonl (one JSON object per line):
+//
+//   segment-start := admitted(epoch=0) | resumed(epoch<=seen+1)
+//                  | reclaimed(epoch<=seen+1)
+//   progress      := epoch(epoch=prev+1)
+//   marker        := retry(epoch=prev) | released(epoch=prev)
+//                  | preempted | quarantined
+//   terminal      := completed(epoch=prev | recovered=true) | failed
+//
+// A stream is a sequence of segments, each opened by a segment-start (or,
+// for a job rejected at admission, a bare `failed`).  Exactly one terminal
+// is allowed and nothing may follow it except `preempted` (a worker that
+// lost its lease may notice after the new owner finished).  An unparseable
+// (torn) line is legal only as the final line or when the next parseable
+// event opens a new segment — exactly what crash recovery produces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rmp::api {
+
+struct TraceIssue {
+  std::string job;   ///< job id the issue belongs to ("" = spool-level)
+  std::size_t line;  ///< 1-based line in events/<id>.jsonl, 0 = whole file
+  std::string what;
+};
+
+/// Checks one event stream against the grammar.  `job_id` is the expected
+/// "job" field ("" skips the cross-check).  When `require_terminal` is
+/// true the stream must end in exactly one completed/failed terminal
+/// (drained spool); otherwise an unterminated stream is legal (job still
+/// in flight).
+[[nodiscard]] std::vector<TraceIssue> verify_event_stream(
+    const std::string& path, const std::string& job_id, bool require_terminal);
+
+/// Checks every events/<id>.jsonl under `spool` plus the cross-artifact
+/// invariants: a completed trace has results/<id>.json and no
+/// failed/<id>.json (and vice versa), every result/failure artifact has a
+/// conforming trace, and — when `require_terminal` — no unclaimed job or
+/// live claim remains.
+[[nodiscard]] std::vector<TraceIssue> verify_spool_traces(
+    const std::string& spool, bool require_terminal);
+
+}  // namespace rmp::api

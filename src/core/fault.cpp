@@ -1,0 +1,172 @@
+#include "core/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rmp::core {
+
+namespace {
+
+FaultKind parse_kind(const std::string& value) {
+  if (value == "fail") return FaultKind::kFail;
+  if (value == "torn") return FaultKind::kTorn;
+  if (value == "crash") return FaultKind::kCrash;
+  throw std::invalid_argument("unknown fault kind \"" + value +
+                              "\" (expected fail|torn|crash)");
+}
+
+long parse_long(const std::string& key, const std::string& value) {
+  if (value.empty()) {
+    throw std::invalid_argument("empty value for fault key \"" + key + "\"");
+  }
+  char* end = nullptr;
+  long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 0) {
+    throw std::invalid_argument("bad value \"" + value + "\" for fault key \"" +
+                                key + "\"");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  {
+    std::lock_guard<std::mutex> lock(injector.mu_);
+    if (!injector.env_parsed_) {
+      injector.env_parsed_ = true;
+      injector.parse_env_locked();
+    }
+  }
+  return injector;
+}
+
+void FaultInjector::parse_env_locked() {
+  const char* env = std::getenv("RMP_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  try {
+    arm_from_string_locked(env);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rmp fault injection: malformed RMP_FAULTS: %s\n",
+                 e.what());
+    std::_Exit(2);
+  }
+}
+
+void FaultInjector::arm_from_string(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arm_from_string_locked(spec);
+}
+
+void FaultInjector::arm_from_string_locked(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    std::size_t colon = entry.find(':');
+    const std::string site =
+        colon == std::string::npos ? entry : entry.substr(0, colon);
+    if (site.empty()) {
+      throw std::invalid_argument("fault entry \"" + entry +
+                                  "\" has no site name");
+    }
+
+    Site armed;
+    armed.armed = true;
+    std::size_t field_pos =
+        colon == std::string::npos ? entry.size() : colon + 1;
+    while (field_pos < entry.size()) {
+      std::size_t next = entry.find(':', field_pos);
+      if (next == std::string::npos) next = entry.size();
+      const std::string field = entry.substr(field_pos, next - field_pos);
+      field_pos = next + 1;
+      if (field.empty()) continue;
+      std::size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("fault field \"" + field +
+                                    "\" is not key=value");
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "kind") {
+        armed.kind = parse_kind(value);
+      } else if (key == "after") {
+        armed.after = static_cast<int>(parse_long(key, value));
+      } else if (key == "count") {
+        armed.count = static_cast<int>(parse_long(key, value));
+      } else if (key == "at") {
+        armed.at_byte = parse_long(key, value);
+      } else {
+        throw std::invalid_argument("unknown fault key \"" + key + "\"");
+      }
+    }
+
+    Site& slot = sites_[site];
+    const int hit_count = slot.hit_count;  // preserve across re-arming
+    slot = armed;
+    slot.hit_count = hit_count;
+  }
+}
+
+void FaultInjector::arm(const std::string& site, FaultKind kind, int after,
+                        int count, long at_byte) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& slot = sites_[site];
+  slot.armed = true;
+  slot.kind = kind;
+  slot.after = after;
+  slot.count = count;
+  slot.at_byte = at_byte;
+  slot.fired = 0;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+}
+
+std::optional<FaultHit> FaultInjector::fire(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& slot = sites_[site];
+  slot.hit_count++;
+  if (!slot.armed) return std::nullopt;
+  if (slot.hit_count <= slot.after) return std::nullopt;
+  if (slot.count != 0 && slot.fired >= slot.count) return std::nullopt;
+  slot.fired++;
+  FaultHit hit;
+  hit.kind = slot.kind;
+  hit.at_byte = slot.at_byte;
+  return hit;
+}
+
+int FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+#ifdef RMP_SENTINELS
+
+std::optional<FaultHit> fault_fire(const std::string& site) {
+  return FaultInjector::instance().fire(site);
+}
+
+void fault_point(const std::string& site) {
+  auto hit = FaultInjector::instance().fire(site);
+  if (!hit) return;
+  if (hit->kind == FaultKind::kCrash) {
+    std::fprintf(stderr, "rmp fault injection: crash at %s\n", site.c_str());
+    std::fflush(stderr);
+    std::_Exit(kFaultCrashExitCode);
+  }
+  throw TransientError("fault injection: transient failure at " + site);
+}
+
+#endif  // RMP_SENTINELS
+
+}  // namespace rmp::core

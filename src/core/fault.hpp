@@ -1,0 +1,139 @@
+#ifndef RMP_CORE_FAULT_HPP
+#define RMP_CORE_FAULT_HPP
+
+// Deterministic fault injection for crash-safety testing.
+//
+// Named sites (`checkpoint.write`, `result.rename`, `job.claim`,
+// `event.append`, `solve.transient`, ...) are compiled into the I/O
+// helpers of `core::fsio` and into `api::Session::step_epoch`.  A site
+// is armed via the RMP_FAULTS environment variable (or programmatically
+// through `FaultInjector::arm_from_string`) with a spec of the form
+//
+//   RMP_FAULTS=checkpoint.write:after=3:kind=torn,job.claim:kind=crash
+//
+// where each comma-separated entry is `site[:key=value]...` with keys
+//
+//   kind  = fail | torn | crash   (default fail)
+//   after = N   skip the first N hits of the site (default 0)
+//   count = N   fire at most N times, 0 = unlimited (default 1)
+//   at    = B   torn writes truncate at byte B (default half the payload)
+//
+// Semantics of a firing site:
+//   fail  -> the I/O helper throws core::TransientError (site in message)
+//   torn  -> the write is truncated at the chosen byte and the process
+//            exits with kFaultCrashExitCode (models power loss mid-write)
+//   crash -> the process exits with kFaultCrashExitCode at the site
+//
+// The registry itself is compiled everywhere (tests arm it in-process),
+// but the *hooks* — `fault_fire` / `fault_point` — are real only when
+// RMP_SENTINELS is defined (Debug and sanitizer builds, same gate as the
+// PR-8 allocation sentinels).  In a plain Release build they are inline
+// no-op stubs, so an unset RMP_FAULTS costs literally nothing.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace rmp::core {
+
+// Base class of the *transient* side of the error taxonomy: an error a
+// scheduler may retry with bounded backoff.  Anything not derived from
+// TransientError is treated as permanent (poison) by api::JobServer.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Exit code used by crash-point and torn-write faults.  Distinct from
+// common library abort codes so death tests can assert on it.
+inline constexpr int kFaultCrashExitCode = 70;
+
+#ifdef RMP_SENTINELS
+inline constexpr bool kFaultInjectionCompiled = true;
+#else
+inline constexpr bool kFaultInjectionCompiled = false;
+#endif
+
+enum class FaultKind : std::uint8_t { kFail, kTorn, kCrash };
+
+// What a firing site tells the instrumented call to do.
+struct FaultHit {
+  FaultKind kind = FaultKind::kFail;
+  // For kTorn: byte offset to truncate the payload at; -1 = helper
+  // default (half the payload length).
+  long at_byte = -1;
+};
+
+class FaultInjector {
+ public:
+  // Process-wide singleton.  First call parses RMP_FAULTS if set; a
+  // malformed value is a hard configuration error (exit 2) because a
+  // chaos run with a silently ignored fault spec would test nothing.
+  static FaultInjector& instance();
+
+  // Arm sites from a spec string (same grammar as RMP_FAULTS).  Throws
+  // std::invalid_argument on malformed input.  Entries replace any
+  // previous arming of the same site.
+  void arm_from_string(const std::string& spec);
+
+  // Arm a single site programmatically.
+  void arm(const std::string& site, FaultKind kind, int after = 0,
+           int count = 1, long at_byte = -1);
+
+  // Remove all armed sites and reset hit counters.
+  void reset();
+
+  // Record a hit at `site`; returns the action to take if the site is
+  // armed and due, std::nullopt otherwise.  Thread-safe.
+  std::optional<FaultHit> fire(const std::string& site);
+
+  // Number of times `site` has been *hit* (armed or not) since the last
+  // reset.  For tests.
+  int hits(const std::string& site) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Site {
+    bool armed = false;
+    FaultKind kind = FaultKind::kFail;
+    int after = 0;    // skip this many hits before firing
+    int count = 1;    // fire at most this many times; 0 = unlimited
+    long at_byte = -1;
+    int hit_count = 0;
+    int fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+  bool env_parsed_ = false;
+
+  void parse_env_locked();
+  void arm_from_string_locked(const std::string& spec);
+};
+
+#ifdef RMP_SENTINELS
+
+// Ask the registry whether `site` fires this time.  Used by helpers
+// that need the FaultHit payload (torn-write byte offset).
+std::optional<FaultHit> fault_fire(const std::string& site);
+
+// Convenience hook for non-I/O sites: kCrash exits the process with
+// kFaultCrashExitCode, kFail/kTorn throw TransientError.
+void fault_point(const std::string& site);
+
+#else
+
+inline std::optional<FaultHit> fault_fire(const std::string&) {
+  return std::nullopt;
+}
+inline void fault_point(const std::string&) {}
+
+#endif  // RMP_SENTINELS
+
+}  // namespace rmp::core
+
+#endif  // RMP_CORE_FAULT_HPP

@@ -1,0 +1,56 @@
+#ifndef RMP_CORE_FSIO_HPP
+#define RMP_CORE_FSIO_HPP
+
+// Durable, fault-instrumented filesystem primitives.  All spool-state
+// mutation under src/api must go through these helpers (enforced by the
+// rmp_lint `spool-write` rule): they are the only places that know how
+// to write atomically, survive power loss, and carry the fault sites
+// the chaos layer arms.
+
+#include <filesystem>
+#include <string>
+
+#include "core/fault.hpp"
+
+namespace rmp::core {
+
+// A filesystem operation failed in a way that is worth retrying
+// (transient by the JobServer taxonomy).  Carries errno context.
+class IoError : public TransientError {
+ public:
+  using TransientError::TransientError;
+};
+
+// Atomically replace `path` with `content`, durable across power loss:
+// write a dot-prefixed temp file in the same directory, fsync the file,
+// rename over `path`, then fsync the containing directory.  When `site`
+// is non-null the write is a fault-injection site: kFail throws IoError,
+// kTorn truncates the payload at the chosen byte *at the final path*
+// and exits (modelling a torn post-power-loss state), kCrash completes
+// the temp write but exits before the rename.
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::string& content,
+                       const char* site = nullptr);
+
+// Atomically move `from` to `to` via rename(2).  Returns true on
+// success, false when `from` no longer exists (another worker won the
+// race).  Any other failure throws IoError.  A kCrash fault at `site`
+// exits *after* the rename — the claim is held by a dead process.
+bool rename_claim(const std::filesystem::path& from,
+                  const std::filesystem::path& to,
+                  const char* site = nullptr);
+
+// Append `line` plus a trailing newline to `path` with a single
+// O_APPEND write.  A kTorn fault at `site` writes a prefix of the line
+// and exits; kCrash exits after the full write.
+void append_line(const std::filesystem::path& path, const std::string& line,
+                 const char* site = nullptr);
+
+// If `path` exists, is non-empty, and does not end in '\n', append a
+// newline so a torn final line is isolated from subsequent appends.
+// Returns true if a repair was made.
+bool repair_jsonl_tail(const std::filesystem::path& path);
+
+}  // namespace rmp::core
+
+#endif  // RMP_CORE_FSIO_HPP

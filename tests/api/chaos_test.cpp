@@ -1,0 +1,443 @@
+// Chaos matrix over the crash-safe spool: every kill point the fault
+// injector can arm, driven end-to-end through real process deaths
+// (gtest threadsafe death tests re-exec the binary; the armed site calls
+// std::_Exit(core::kFaultCrashExitCode) mid-I/O) followed by a recovery
+// worker adopting the torn spool.  The invariants asserted for every
+// scenario:
+//
+//   * every submitted job terminates in exactly one of results//failed/,
+//   * no job is completed twice,
+//   * the recovered run reproduces the uninterrupted run's archive
+//     fingerprint bit-exactly,
+//   * every events/<id>.jsonl conforms to the protocol grammar.
+//
+// The death-test scenarios need the fault hooks, which are compiled with
+// RMP_SENTINELS (Debug + sanitizer builds — ci/build.sh runs this suite in
+// the ASan lane); in plain Release they skip, and the fault-free scenarios
+// (worker races, truncated-checkpoint regression) still run.
+//
+// Death-test mechanics: the child re-executes this test from the start, so
+// all setup before EXPECT_EXIT runs in both processes — make_spool wipes
+// the directory, making the setup idempotent, and the parent continues on
+// the spool state the crashed child left behind.  Faults are armed INSIDE
+// the EXPECT_EXIT statement (parent stays clean), and the statement ends
+// in std::_Exit(0) so a site that fails to fire fails the assertion.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/run.hpp"
+#include "api/serve.hpp"
+#include "api/session.hpp"
+#include "api/spec.hpp"
+#include "api/trace.hpp"
+#include "core/fault.hpp"
+#include "core/json.hpp"
+
+namespace rmp::api {
+namespace {
+
+namespace fs = std::filesystem;
+
+#define SKIP_WITHOUT_FAULT_HOOKS()                                      \
+  if (!core::kFaultInjectionCompiled) {                                 \
+    GTEST_SKIP() << "fault hooks are no-ops in this build (Release)";   \
+  }
+
+RunSpec chaos_spec(std::uint64_t seed, std::size_t checkpoint_every = 1) {
+  RunSpec spec;
+  spec.problem = "zdt1?n=6";
+  spec.optimizer = "nsga2?population=16";
+  spec.generations = 8;
+  spec.seed = seed;
+  spec.threads = 1;
+  spec.checkpoint_every = checkpoint_every;
+  return spec;
+}
+
+/// The uninterrupted run's fingerprint (checkpoint knobs normalized out —
+/// they steer where state is written, never what the run computes).
+std::uint64_t direct_fingerprint(const RunSpec& spec) {
+  RunSpec direct = spec;
+  direct.checkpoint_every = 0;
+  direct.checkpoint_path.clear();
+  return run(direct).fingerprint;
+}
+
+std::string make_spool(const std::string& name) {
+  const std::string spool = testing::TempDir() + "rmp_chaos_" + name;
+  fs::remove_all(spool);
+  fs::create_directories(spool);
+  return spool;
+}
+
+void submit(const std::string& spool, const std::string& id,
+            const RunSpec& spec) {
+  fs::create_directories(spool + "/jobs");
+  std::ofstream out(spool + "/jobs/" + id + ".json");
+  out << spec_to_json(spec).dump(2) << "\n";
+}
+
+ServeOptions worker_options(const std::string& spool, const std::string& owner,
+                            std::int64_t lease_timeout_ms) {
+  ServeOptions options;
+  options.spool = spool;
+  options.owner = owner;
+  options.lease_timeout_ms = lease_timeout_ms;
+  return options;
+}
+
+void drain(JobServer& server) {
+  for (int round = 0; round < 400; ++round) {
+    const TickReport report = server.tick();
+    if (report.active == 0 && report.admitted == 0 && report.stepped == 0) {
+      return;
+    }
+  }
+  FAIL() << "server did not drain within the round budget";
+}
+
+std::uint64_t result_fingerprint(const std::string& spool,
+                                 const std::string& id) {
+  const core::Json doc =
+      core::load_json_file(spool + "/results/" + id + ".json");
+  return doc.at("fingerprint").as_u64();
+}
+
+std::size_t count_events(const std::string& spool, const std::string& id,
+                         const std::string& type) {
+  std::ifstream in(spool + "/events/" + id + ".jsonl");
+  std::size_t count = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    try {
+      if (core::Json::parse(line).at("type").as_string() == type) ++count;
+    } catch (const core::JsonError&) {
+    }
+  }
+  return count;
+}
+
+void expect_conformant(const std::string& spool) {
+  const auto issues = verify_spool_traces(spool, /*require_terminal=*/true);
+  for (const TraceIssue& issue : issues) {
+    ADD_FAILURE() << issue.job << ":" << issue.line << ": " << issue.what;
+  }
+}
+
+/// Recovery worker: reclaims the dead child's lease (zero timeout, aged a
+/// few ms) and drains the spool.
+void recover_and_drain(const std::string& spool) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  JobServer recovery(worker_options(spool, "recover", /*lease_timeout_ms=*/0));
+  drain(recovery);
+}
+
+void assert_exactly_one_completion(const std::string& spool,
+                                   const std::string& id,
+                                   const RunSpec& spec) {
+  EXPECT_TRUE(fs::exists(spool + "/results/" + id + ".json"));
+  EXPECT_FALSE(fs::exists(spool + "/failed/" + id + ".json"));
+  EXPECT_EQ(count_events(spool, id, "completed"), 1u);
+  EXPECT_EQ(result_fingerprint(spool, id), direct_fingerprint(spec));
+  expect_conformant(spool);
+}
+
+class ChaosDeathTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+// ---- Kill point: crash during a checkpoint write (torn file) ------------
+
+TEST_F(ChaosDeathTest, TornCheckpointWriteRecoversFromThePreviousOne) {
+  SKIP_WITHOUT_FAULT_HOOKS();
+  const std::string spool = make_spool("torn_ckpt");
+  const RunSpec spec = chaos_spec(21);
+  submit(spool, "chaos", spec);
+
+  EXPECT_EXIT(
+      {
+        core::FaultInjector::instance().arm("checkpoint.write",
+                                            core::FaultKind::kTorn,
+                                            /*after=*/2);
+        JobServer worker(worker_options(spool, "crashw", 30000));
+        for (int i = 0; i < 10; ++i) (void)worker.tick();
+        std::_Exit(0);  // not reached: the third checkpoint write tears
+      },
+      testing::ExitedWithCode(core::kFaultCrashExitCode),
+      "crash at checkpoint.write");
+
+  // The torn bytes landed at the FINAL checkpoint path; recovery must
+  // quarantine them and fall back to the rotated previous checkpoint.
+  recover_and_drain(spool);
+  EXPECT_TRUE(fs::exists(spool + "/work/chaos.corrupt.0"));
+  EXPECT_EQ(count_events(spool, "chaos", "quarantined"), 1u);
+  EXPECT_EQ(count_events(spool, "chaos", "reclaimed"), 1u);
+  assert_exactly_one_completion(spool, "chaos", spec);
+}
+
+// ---- Kill point: crash after the claim, before the first epoch ----------
+
+TEST_F(ChaosDeathTest, CrashAfterClaimBeforeFirstEpochIsReAdopted) {
+  SKIP_WITHOUT_FAULT_HOOKS();
+  const std::string spool = make_spool("claim_crash");
+  const RunSpec spec = chaos_spec(22);
+  submit(spool, "chaos", spec);
+
+  EXPECT_EXIT(
+      {
+        core::FaultInjector::instance().arm("job.claim",
+                                            core::FaultKind::kCrash);
+        JobServer worker(worker_options(spool, "crashw", 30000));
+        (void)worker.tick();
+        std::_Exit(0);  // not reached: the admission rename crashes
+      },
+      testing::ExitedWithCode(core::kFaultCrashExitCode),
+      "crash at job.claim");
+
+  // The claim exists but was never heartbeat-stamped (its content is still
+  // the raw spec) — staleness falls back to the file mtime, and the
+  // recovery worker re-adopts from the pristine spec.
+  ASSERT_TRUE(fs::exists(spool + "/work/chaos.claim.crashw"));
+  ASSERT_FALSE(fs::exists(spool + "/jobs/chaos.json"));
+  recover_and_drain(spool);
+  EXPECT_EQ(count_events(spool, "chaos", "reclaimed"), 1u);
+  assert_exactly_one_completion(spool, "chaos", spec);
+}
+
+// ---- Kill point: crash between the result write and the claim unlink ----
+
+TEST_F(ChaosDeathTest, CrashBetweenResultWriteAndUnlinkNeverCompletesTwice) {
+  SKIP_WITHOUT_FAULT_HOOKS();
+  const std::string spool = make_spool("result_crash");
+  const RunSpec spec = chaos_spec(23);
+  submit(spool, "chaos", spec);
+
+  EXPECT_EXIT(
+      {
+        core::FaultInjector::instance().arm("result.rename",
+                                            core::FaultKind::kCrash);
+        JobServer worker(worker_options(spool, "crashw", 30000));
+        for (int i = 0; i < 20; ++i) (void)worker.tick();
+        std::_Exit(0);  // not reached: completion crashes post-result
+      },
+      testing::ExitedWithCode(core::kFaultCrashExitCode),
+      "crash at result.rename");
+
+  // Result on disk, claim still held by the dead worker, no completed
+  // event yet.  The result artifact is the commit point: recovery must
+  // finalize — remove the claim, log a recovered completion — and NOT run
+  // the job a second time.
+  ASSERT_TRUE(fs::exists(spool + "/results/chaos.json"));
+  ASSERT_TRUE(fs::exists(spool + "/work/chaos.claim.crashw"));
+  const auto result_bytes = fs::file_size(spool + "/results/chaos.json");
+
+  recover_and_drain(spool);
+  EXPECT_FALSE(fs::exists(spool + "/work/chaos.claim.recover"));
+  EXPECT_EQ(fs::file_size(spool + "/results/chaos.json"), result_bytes);
+  EXPECT_EQ(count_events(spool, "chaos", "completed"), 1u);
+  assert_exactly_one_completion(spool, "chaos", spec);
+}
+
+// ---- Kill point: torn event append --------------------------------------
+
+TEST_F(ChaosDeathTest, TornEventAppendIsRepairedOnAdoption) {
+  SKIP_WITHOUT_FAULT_HOOKS();
+  const std::string spool = make_spool("torn_event");
+  const RunSpec spec = chaos_spec(24);
+  submit(spool, "chaos", spec);
+
+  EXPECT_EXIT(
+      {
+        core::FaultInjector::instance().arm("event.append",
+                                            core::FaultKind::kTorn,
+                                            /*after=*/2);
+        JobServer worker(worker_options(spool, "crashw", 30000));
+        for (int i = 0; i < 10; ++i) (void)worker.tick();
+        std::_Exit(0);  // not reached: the third event append tears
+      },
+      testing::ExitedWithCode(core::kFaultCrashExitCode),
+      "crash at event.append");
+
+  // The stream ends in half a line; adoption appends the isolating
+  // newline, the next event is a segment start, and the conformance
+  // checker accepts exactly this shape (and only this shape).
+  recover_and_drain(spool);
+  EXPECT_EQ(count_events(spool, "chaos", "reclaimed"), 1u);
+  assert_exactly_one_completion(spool, "chaos", spec);
+}
+
+// ---- Kill point: worker dies mid-epoch (the SIGKILL stand-in) -----------
+
+TEST_F(ChaosDeathTest, WorkerKilledMidEpochIsReclaimedExactlyOnce) {
+  SKIP_WITHOUT_FAULT_HOOKS();
+  const std::string spool = make_spool("midepoch_kill");
+  const RunSpec spec = chaos_spec(25);
+  submit(spool, "chaos", spec);
+
+  EXPECT_EXIT(
+      {
+        core::FaultInjector::instance().arm("solve.transient",
+                                            core::FaultKind::kCrash,
+                                            /*after=*/4);
+        JobServer worker(worker_options(spool, "crashw", 30000));
+        for (int i = 0; i < 10; ++i) (void)worker.tick();
+        std::_Exit(0);  // not reached: the fifth epoch kills the worker
+      },
+      testing::ExitedWithCode(core::kFaultCrashExitCode),
+      "crash at solve.transient");
+
+  // Four epochs committed and checkpointed; the second worker re-adopts
+  // the stale lease exactly once and the final fingerprint matches the
+  // uninterrupted run bit-exactly.
+  recover_and_drain(spool);
+  EXPECT_EQ(count_events(spool, "chaos", "reclaimed"), 1u);
+  EXPECT_EQ(count_events(spool, "chaos", "preempted"), 0u);
+  assert_exactly_one_completion(spool, "chaos", spec);
+}
+
+// ---- Two workers racing one spool (no faults; runs in every build) ------
+
+TEST(ChaosRaceTest, TwoWorkersRacingOneSpoolCompleteEveryJobOnce) {
+  const std::string spool = make_spool("race");
+  const RunSpec spec_a = chaos_spec(31);
+  const RunSpec spec_b = chaos_spec(32, /*checkpoint_every=*/2);
+  const RunSpec spec_c = chaos_spec(33, /*checkpoint_every=*/0);
+  submit(spool, "ra", spec_a);
+  submit(spool, "rb", spec_b);
+
+  JobServer a(worker_options(spool, "workerA", 30000));
+  JobServer b(worker_options(spool, "workerB", 30000));
+  (void)a.tick();  // claims ra + rb
+  submit(spool, "rc", spec_c);
+  (void)b.tick();  // claims rc
+
+  for (int round = 0;
+       round < 400 && (a.active_jobs() > 0 || b.active_jobs() > 0); ++round) {
+    (void)a.tick();
+    (void)b.tick();
+  }
+
+  assert_exactly_one_completion(spool, "ra", spec_a);
+  assert_exactly_one_completion(spool, "rb", spec_b);
+  assert_exactly_one_completion(spool, "rc", spec_c);
+}
+
+// ---- Transient-vs-permanent taxonomy ------------------------------------
+
+TEST(ChaosTaxonomyTest, TransientFailuresBackOffThenSucceedBitExactly) {
+  SKIP_WITHOUT_FAULT_HOOKS();
+  const std::string spool = make_spool("transient_ok");
+  const RunSpec spec = chaos_spec(41);
+  // Baseline BEFORE arming: the direct run steps through the same
+  // solve.transient site.
+  const std::uint64_t expected = direct_fingerprint(spec);
+  submit(spool, "flaky", spec);
+
+  core::FaultInjector::instance().arm("solve.transient",
+                                      core::FaultKind::kFail,
+                                      /*after=*/1, /*count=*/2);
+  JobServer server(worker_options(spool, "workerA", 30000));
+  std::size_t retried = 0;
+  for (int round = 0; round < 400; ++round) {
+    const TickReport report = server.tick();
+    retried += report.retried;
+    if (report.active == 0 && report.admitted == 0 && report.stepped == 0) {
+      break;
+    }
+  }
+  core::FaultInjector::instance().reset();
+
+  // Two transient failures, two deterministic backoffs, then completion —
+  // and the retries change nothing about the computed archive.
+  EXPECT_EQ(retried, 2u);
+  EXPECT_EQ(count_events(spool, "flaky", "retry"), 2u);
+  EXPECT_EQ(result_fingerprint(spool, "flaky"), expected);
+  expect_conformant(spool);
+}
+
+TEST(ChaosTaxonomyTest, PoisonJobsAreQuarantinedWithEvidenceAfterMaxAttempts) {
+  SKIP_WITHOUT_FAULT_HOOKS();
+  const std::string spool = make_spool("poison");
+  submit(spool, "poison", chaos_spec(42));
+
+  core::FaultInjector::instance().arm("solve.transient",
+                                      core::FaultKind::kFail,
+                                      /*after=*/0, /*count=*/0);  // always
+  ServeOptions options = worker_options(spool, "workerA", 30000);
+  options.max_attempts = 3;
+  JobServer server(options);
+  for (int round = 0; round < 50; ++round) {
+    const TickReport report = server.tick();
+    if (report.failed > 0) break;
+  }
+  core::FaultInjector::instance().reset();
+
+  // Quarantined into failed/ with the poison diagnosis and the evidence
+  // (the claim doc, echoing the spec) preserved beside it.
+  ASSERT_TRUE(fs::exists(spool + "/failed/poison.json"));
+  EXPECT_FALSE(fs::exists(spool + "/results/poison.json"));
+  const core::Json record = core::load_json_file(spool + "/failed/poison.json");
+  EXPECT_NE(record.at("error").as_string().find("poison job"),
+            std::string::npos);
+  EXPECT_TRUE(fs::exists(spool + "/failed/poison.spec.json"));
+  EXPECT_EQ(count_events(spool, "poison", "retry"), 2u);
+  EXPECT_EQ(count_events(spool, "poison", "failed"), 1u);
+  expect_conformant(spool);
+}
+
+// ---- Satellite: truncated-checkpoint regression over byte boundaries ----
+
+TEST(CheckpointTruncationTest, TruncationsAreNamedSpecErrorsWithTheOffset) {
+  const std::string dir = testing::TempDir() + "rmp_chaos_truncate";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/ckpt.json";
+
+  RunSpec spec = chaos_spec(51, /*checkpoint_every=*/0);
+  spec.generations = 3;
+  Session session(spec);
+  session.step_epoch();
+  ASSERT_TRUE(core::write_json_file(path, session.checkpoint()));
+  const auto size = fs::file_size(path);
+  ASSERT_GT(size, 16u);
+
+  // Sampled truncation points across the file: every one must surface as
+  // a SpecError naming the file and the parse byte offset — never a raw
+  // JsonError and never a silent partial resume.
+  for (const std::uintmax_t cut :
+       {std::uintmax_t{1}, size / 4, size / 2, 3 * size / 4, size - 2}) {
+    const std::string torn = dir + "/torn.json";
+    fs::copy_file(path, torn, fs::copy_options::overwrite_existing);
+    fs::resize_file(torn, cut);
+    try {
+      (void)Session::resume(load_checkpoint_file(torn));
+      ADD_FAILURE() << "cut at byte " << cut << " was accepted";
+    } catch (const SpecError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(torn), std::string::npos)
+          << "error does not name the file: " << what;
+      EXPECT_NE(what.find("byte"), std::string::npos)
+          << "error does not locate the damage: " << what;
+    }
+  }
+
+  // Boundary sanity: losing only the trailing newline is not damage.
+  const std::string benign = dir + "/benign.json";
+  fs::copy_file(path, benign, fs::copy_options::overwrite_existing);
+  fs::resize_file(benign, size - 1);
+  Session resumed = Session::resume(load_checkpoint_file(benign));
+  EXPECT_EQ(resumed.epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace rmp::api

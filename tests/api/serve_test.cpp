@@ -1,20 +1,24 @@
-// api::JobServer — spool admission, epoch-fair round-robin, checkpointed
-// kill/restart recovery, event streams, and the failed-job path.  tick() is
-// deterministic, so everything here runs without signals, sleeps, or real
+// api::JobServer — spool admission via rename-claims, epoch-fair
+// round-robin, checkpointed kill/restart recovery, multi-worker leases,
+// torn-checkpoint quarantine, event streams, and the failed-job path.
+// tick() is deterministic, so everything here runs without signals or real
 // daemon processes (ci/build.sh smokes the actual rmp_serve binary with a
-// real SIGTERM).
+// real SIGTERM, and chaos_test.cpp drives the injected-crash matrix).
 #include "api/serve.hpp"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/run.hpp"
 #include "api/spec.hpp"
+#include "api/trace.hpp"
 #include "core/json.hpp"
 
 namespace rmp::api {
@@ -65,6 +69,36 @@ std::uint64_t result_fingerprint(const std::string& spool,
   return doc.at("fingerprint").as_u64();
 }
 
+ServeOptions worker_options(const std::string& spool, const std::string& owner,
+                            std::int64_t lease_timeout_ms = 30000) {
+  ServeOptions options;
+  options.spool = spool;
+  options.owner = owner;
+  options.lease_timeout_ms = lease_timeout_ms;
+  return options;
+}
+
+std::size_t count_events(const std::string& spool, const std::string& id,
+                         const std::string& type) {
+  std::ifstream in(spool + "/events/" + id + ".jsonl");
+  std::size_t count = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    try {
+      if (core::Json::parse(line).at("type").as_string() == type) ++count;
+    } catch (const core::JsonError&) {
+    }
+  }
+  return count;
+}
+
+void expect_conformant(const std::string& spool) {
+  const auto issues = verify_spool_traces(spool, /*require_terminal=*/true);
+  for (const TraceIssue& issue : issues) {
+    ADD_FAILURE() << issue.job << ":" << issue.line << ": " << issue.what;
+  }
+}
+
 TEST(JobServerTest, TwoJobsDrainToValidatedResults) {
   const std::string spool = make_spool("two_jobs");
   submit(spool, "alpha", spec_to_json(job_spec(11)));
@@ -79,6 +113,8 @@ TEST(JobServerTest, TwoJobsDrainToValidatedResults) {
   // Completed jobs leave the queue and the work directory.
   EXPECT_FALSE(fs::exists(spool + "/jobs/alpha.json"));
   EXPECT_FALSE(fs::exists(spool + "/work/alpha.checkpoint.json"));
+  // The drained spool's event streams conform to the protocol grammar.
+  expect_conformant(spool);
 }
 
 TEST(JobServerTest, RoundRobinInterleavesJobsFairly) {
@@ -147,17 +183,25 @@ TEST(JobServerTest, EventStreamCarriesPerEpochProgress) {
   for (std::string line; std::getline(in, line);) {
     if (!line.empty()) events.push_back(core::Json::parse(line));
   }
-  // One admission event (epoch 0) plus one per committed epoch.
-  ASSERT_EQ(events.size(), job_spec(11).generations + 1);
-  for (std::size_t i = 0; i < events.size(); ++i) {
+  // admitted(0), one "epoch" event per committed epoch, completed terminal.
+  const std::size_t generations = job_spec(11).generations;
+  ASSERT_EQ(events.size(), generations + 2);
+  EXPECT_EQ(events.front().at("type").as_string(), "admitted");
+  EXPECT_EQ(events.front().at("epoch").as_size(), 0u);
+  EXPECT_EQ(events.back().at("type").as_string(), "completed");
+  EXPECT_EQ(events.back().at("epoch").as_size(), generations);
+  for (std::size_t i = 1; i <= generations; ++i) {
+    EXPECT_EQ(events[i].at("type").as_string(), "epoch");
     EXPECT_EQ(events[i].at("epoch").as_size(), i);
     EXPECT_EQ(events[i].at("job").as_string(), "alpha");
-    // Every event carries the full cumulative accounting breakdown.
+    EXPECT_FALSE(events[i].at("worker").as_string().empty());
+    // Every progress event carries the full cumulative accounting breakdown.
     const core::Json& stats = events[i].at("eval_stats");
     EXPECT_GE(stats.at("evaluations").as_size(),
-              i > 0 ? events[i - 1].at("eval_stats").at("evaluations").as_size()
+              i > 1 ? events[i - 1].at("eval_stats").at("evaluations").as_size()
                     : 0u);
   }
+  expect_conformant(spool);
 }
 
 TEST(JobServerTest, MalformedJobsFailLoudlyAndKeepTheSchedulerAlive) {
@@ -185,7 +229,7 @@ TEST(JobServerTest, MalformedJobsFailLoudlyAndKeepTheSchedulerAlive) {
   EXPECT_TRUE(fs::exists(spool + "/results/good.json"));
 }
 
-TEST(JobServerTest, MismatchedCheckpointFailsTheJobInsteadOfRestarting) {
+TEST(JobServerTest, CorruptCheckpointIsQuarantinedAndTheJobRecovers) {
   const std::string spool = make_spool("bad_ckpt");
   submit(spool, "alpha", spec_to_json(job_spec(11)));
   {
@@ -193,8 +237,10 @@ TEST(JobServerTest, MismatchedCheckpointFailsTheJobInsteadOfRestarting) {
     (void)first.tick();
     first.checkpoint_all();
   }
-  // Corrupt the spooled checkpoint's spec hash; the restarted server must
-  // reject the resume with the named error, not silently restart the run.
+  // Corrupt the spooled checkpoint's spec hash.  The restarted server must
+  // neither trust it (silent divergence) nor lose the job: the bad file is
+  // quarantined as work/alpha.corrupt.0 and the run falls back — here to
+  // the pristine spec, since no previous checkpoint exists.
   const std::string ckpt_path = spool + "/work/alpha.checkpoint.json";
   core::Json ckpt = core::load_json_file(ckpt_path);
   ckpt.set("spec_hash", core::Json::hex(0x1234ULL));
@@ -202,10 +248,133 @@ TEST(JobServerTest, MismatchedCheckpointFailsTheJobInsteadOfRestarting) {
 
   JobServer second(ServeOptions{spool});
   drain(second);
-  ASSERT_TRUE(fs::exists(spool + "/failed/alpha.json"));
-  const core::Json failed = core::load_json_file(spool + "/failed/alpha.json");
-  EXPECT_NE(failed.at("error").as_string().find("spec_hash"), std::string::npos);
-  EXPECT_FALSE(fs::exists(spool + "/results/alpha.json"));
+  EXPECT_TRUE(fs::exists(spool + "/work/alpha.corrupt.0"));
+  EXPECT_FALSE(fs::exists(spool + "/failed/alpha.json"));
+  EXPECT_EQ(count_events(spool, "alpha", "quarantined"), 1u);
+  // The recovered run reproduces the uninterrupted fingerprint bit-exactly.
+  EXPECT_EQ(result_fingerprint(spool, "alpha"), run(job_spec(11)).fingerprint);
+}
+
+TEST(JobServerTest, TruncatedCheckpointIsQuarantinedAndTheJobRecovers) {
+  const std::string spool = make_spool("torn_ckpt");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+  {
+    JobServer first(ServeOptions{spool});
+    (void)first.tick();
+    first.checkpoint_all();
+  }
+  // Tear the checkpoint mid-file, as a power loss would.
+  const std::string ckpt_path = spool + "/work/alpha.checkpoint.json";
+  const auto size = fs::file_size(ckpt_path);
+  fs::resize_file(ckpt_path, size / 3);
+
+  JobServer second(ServeOptions{spool});
+  drain(second);
+  EXPECT_TRUE(fs::exists(spool + "/work/alpha.corrupt.0"));
+  EXPECT_EQ(result_fingerprint(spool, "alpha"), run(job_spec(11)).fingerprint);
+  expect_conformant(spool);
+}
+
+TEST(JobServerTest, TwoWorkersShareOneSpoolWithoutDoubleRunning) {
+  const std::string spool = make_spool("two_workers");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+  submit(spool, "beta", spec_to_json(job_spec(12)));
+
+  JobServer a(worker_options(spool, "workerA"));
+  JobServer b(worker_options(spool, "workerB"));
+
+  // Whoever scans first claims; the other worker must admit nothing (the
+  // rename-claim is the mutual exclusion) and both jobs complete exactly
+  // once with the uninterrupted fingerprints.
+  const TickReport first_a = a.tick();
+  EXPECT_EQ(first_a.admitted, 2u);
+  EXPECT_TRUE(fs::exists(spool + "/work/alpha.claim.workerA"));
+  const TickReport first_b = b.tick();
+  EXPECT_EQ(first_b.admitted, 0u);
+  EXPECT_EQ(first_b.stepped, 0u);
+
+  for (int round = 0; round < 200 && a.active_jobs() > 0; ++round) {
+    (void)a.tick();
+    (void)b.tick();
+  }
+  EXPECT_EQ(result_fingerprint(spool, "alpha"), run(job_spec(11)).fingerprint);
+  EXPECT_EQ(result_fingerprint(spool, "beta"), run(job_spec(12)).fingerprint);
+  EXPECT_EQ(count_events(spool, "alpha", "completed"), 1u);
+  EXPECT_EQ(count_events(spool, "beta", "completed"), 1u);
+  expect_conformant(spool);
+}
+
+TEST(JobServerTest, DrainReleasesClaimsForImmediateReAdoption) {
+  const std::string spool = make_spool("release");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+
+  JobServer a(worker_options(spool, "workerA"));
+  (void)a.tick();
+  (void)a.tick();
+  a.checkpoint_all();  // graceful drain: checkpoint + release the claim
+
+  EXPECT_FALSE(fs::exists(spool + "/work/alpha.claim.workerA"));
+  EXPECT_TRUE(fs::exists(spool + "/jobs/alpha.json"));
+  EXPECT_TRUE(fs::exists(spool + "/work/alpha.checkpoint.json"));
+  EXPECT_EQ(count_events(spool, "alpha", "released"), 1u);
+
+  // A different worker re-adopts with no lease timeout involved.
+  JobServer b(worker_options(spool, "workerB"));
+  const TickReport report = b.tick();
+  EXPECT_EQ(report.admitted, 1u);
+  EXPECT_EQ(report.reclaimed, 0u);
+  EXPECT_EQ(count_events(spool, "alpha", "resumed"), 1u);
+  drain(b);
+  EXPECT_EQ(result_fingerprint(spool, "alpha"), run(job_spec(11)).fingerprint);
+  expect_conformant(spool);
+}
+
+TEST(JobServerTest, StaleLeaseIsReclaimedExactlyOnceBitExactly) {
+  const std::string spool = make_spool("stale_lease");
+  RunSpec spec = job_spec(11);
+  spec.checkpoint_every = 1;
+  submit(spool, "alpha", spec_to_json(spec));
+
+  {
+    // Worker A claims the job, commits three epochs, then dies without
+    // draining — its claim (and heartbeat) stay behind in work/.
+    JobServer a(worker_options(spool, "workerA"));
+    (void)a.tick();
+    (void)a.tick();
+    (void)a.tick();
+    EXPECT_EQ(a.active_jobs(), 1u);
+  }
+  ASSERT_TRUE(fs::exists(spool + "/work/alpha.claim.workerA"));
+
+  // Let the heartbeat age past the (zero) lease timeout.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  JobServer b(worker_options(spool, "workerB", /*lease_timeout_ms=*/0));
+  const TickReport report = b.tick();
+  EXPECT_EQ(report.reclaimed, 1u);
+  EXPECT_TRUE(fs::exists(spool + "/work/alpha.claim.workerB"));
+  EXPECT_FALSE(fs::exists(spool + "/work/alpha.claim.workerA"));
+  drain(b);
+
+  // Re-adopted exactly once, finished exactly once, bit-exact result.
+  EXPECT_EQ(count_events(spool, "alpha", "reclaimed"), 1u);
+  EXPECT_EQ(count_events(spool, "alpha", "completed"), 1u);
+  EXPECT_EQ(result_fingerprint(spool, "alpha"), run(job_spec(11)).fingerprint);
+  expect_conformant(spool);
+}
+
+TEST(JobServerTest, FreshForeignClaimIsNotReclaimed) {
+  const std::string spool = make_spool("fresh_lease");
+  submit(spool, "alpha", spec_to_json(job_spec(11)));
+
+  JobServer a(worker_options(spool, "workerA"));
+  (void)a.tick();  // claims + stamps a fresh heartbeat
+
+  JobServer b(worker_options(spool, "workerB"));  // default 30s lease
+  const TickReport report = b.tick();
+  EXPECT_EQ(report.admitted, 0u);
+  EXPECT_EQ(report.reclaimed, 0u);
+  EXPECT_TRUE(fs::exists(spool + "/work/alpha.claim.workerA"));
 }
 
 TEST(JobServerTest, SpecCheckpointCadenceWritesWorkFiles) {

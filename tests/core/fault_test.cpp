@@ -1,0 +1,223 @@
+// core::FaultInjector + core::fsio — the deterministic fault-injection
+// registry (RMP_FAULTS grammar, after/count gating, Release no-op) and the
+// durable filesystem primitives it instruments (atomic_write_file,
+// rename_claim, append_line, repair_jsonl_tail).  The crash-kind death
+// tests re-exec through gtest's threadsafe death-test runner and assert
+// the dedicated exit code, so a non-firing site fails the assertion.
+#include "core/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/fsio.hpp"
+
+namespace rmp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "rmp_fault_" + name;
+  fs::remove_all(path);
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Every test leaves the process-wide registry clean.
+struct InjectorReset {
+  InjectorReset() { FaultInjector::instance().reset(); }
+  ~InjectorReset() { FaultInjector::instance().reset(); }
+};
+
+TEST(FaultInjector, UnarmedSitesNeverFire) {
+  InjectorReset guard;
+  auto& injector = FaultInjector::instance();
+  EXPECT_FALSE(injector.fire("checkpoint.write").has_value());
+  EXPECT_FALSE(injector.fire("checkpoint.write").has_value());
+  EXPECT_EQ(injector.hits("checkpoint.write"), 2);
+}
+
+TEST(FaultInjector, AfterSkipsAndCountBoundsFirings) {
+  InjectorReset guard;
+  auto& injector = FaultInjector::instance();
+  injector.arm("job.claim", FaultKind::kFail, /*after=*/2, /*count=*/2);
+  EXPECT_FALSE(injector.fire("job.claim").has_value());  // hit 1 (skipped)
+  EXPECT_FALSE(injector.fire("job.claim").has_value());  // hit 2 (skipped)
+  EXPECT_TRUE(injector.fire("job.claim").has_value());   // fires
+  EXPECT_TRUE(injector.fire("job.claim").has_value());   // fires
+  EXPECT_FALSE(injector.fire("job.claim").has_value());  // count exhausted
+}
+
+TEST(FaultInjector, ArmFromStringParsesTheEnvGrammar) {
+  InjectorReset guard;
+  auto& injector = FaultInjector::instance();
+  injector.arm_from_string(
+      "checkpoint.write:after=1:kind=torn:at=7,result.rename:kind=crash");
+  EXPECT_FALSE(injector.fire("checkpoint.write").has_value());
+  const auto hit = injector.fire("checkpoint.write");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, FaultKind::kTorn);
+  EXPECT_EQ(hit->at_byte, 7);
+  const auto crash = injector.fire("result.rename");
+  ASSERT_TRUE(crash.has_value());
+  EXPECT_EQ(crash->kind, FaultKind::kCrash);
+}
+
+TEST(FaultInjector, MalformedSpecsThrow) {
+  InjectorReset guard;
+  auto& injector = FaultInjector::instance();
+  EXPECT_THROW(injector.arm_from_string("site:kind=bogus"),
+               std::invalid_argument);
+  EXPECT_THROW(injector.arm_from_string("site:after=x"),
+               std::invalid_argument);
+  EXPECT_THROW(injector.arm_from_string("site:after"), std::invalid_argument);
+  EXPECT_THROW(injector.arm_from_string(":kind=fail"), std::invalid_argument);
+}
+
+TEST(FaultInjector, HooksAreNoOpsWithoutSentinelsAndRealWithThem) {
+  InjectorReset guard;
+  FaultInjector::instance().arm("solve.transient", FaultKind::kFail,
+                                /*after=*/0, /*count=*/0);
+  if constexpr (kFaultInjectionCompiled) {
+    EXPECT_TRUE(fault_fire("solve.transient").has_value());
+    EXPECT_THROW(fault_point("solve.transient"), TransientError);
+  } else {
+    // Plain Release: the free-function hooks are inline stubs — armed or
+    // not, nothing fires and nothing is recorded through them.
+    EXPECT_FALSE(fault_fire("solve.transient").has_value());
+    EXPECT_NO_THROW(fault_point("solve.transient"));
+  }
+}
+
+TEST(FsIo, AtomicWriteReplacesContentAndLeavesNoTemp) {
+  const std::string dir = temp_path("atomic");
+  fs::create_directories(dir);
+  const std::string path = dir + "/doc.json";
+  atomic_write_file(path, "{\"v\":1}\n");
+  EXPECT_EQ(slurp(path), "{\"v\":1}\n");
+  atomic_write_file(path, "{\"v\":2}\n");
+  EXPECT_EQ(slurp(path), "{\"v\":2}\n");
+  // No in-flight temp survives a successful write.
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(FsIo, RenameClaimReportsTheLostRaceAsFalse) {
+  const std::string dir = temp_path("claim");
+  fs::create_directories(dir);
+  const std::string from = dir + "/job.json";
+  atomic_write_file(from, "{}\n");
+  EXPECT_TRUE(rename_claim(from, dir + "/job.claim.w1"));
+  // Second claimant: the source is gone — lost race, not an error.
+  EXPECT_FALSE(rename_claim(from, dir + "/job.claim.w2"));
+  EXPECT_TRUE(fs::exists(dir + "/job.claim.w1"));
+  EXPECT_FALSE(fs::exists(dir + "/job.claim.w2"));
+}
+
+TEST(FsIo, AppendLineAppendsWholeLines) {
+  const std::string dir = temp_path("append");
+  fs::create_directories(dir);
+  const std::string path = dir + "/events.jsonl";
+  append_line(path, "{\"a\":1}");
+  append_line(path, "{\"a\":2}");
+  EXPECT_EQ(slurp(path), "{\"a\":1}\n{\"a\":2}\n");
+}
+
+TEST(FsIo, RepairJsonlTailIsolatesTornLines) {
+  const std::string dir = temp_path("repair");
+  fs::create_directories(dir);
+  const std::string path = dir + "/events.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"a\":1}\n{\"a\":2";  // torn final line, no newline
+  }
+  EXPECT_TRUE(repair_jsonl_tail(path));
+  EXPECT_EQ(slurp(path), "{\"a\":1}\n{\"a\":2\n");
+  // Idempotent: a healthy tail is left alone.
+  EXPECT_FALSE(repair_jsonl_tail(path));
+  EXPECT_FALSE(repair_jsonl_tail(dir + "/missing.jsonl"));
+}
+
+TEST(FsIo, FailKindFaultsSurfaceAsTransientIoErrors) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault hooks are no-ops in this build";
+  }
+  InjectorReset guard;
+  const std::string dir = temp_path("failkind");
+  fs::create_directories(dir);
+  FaultInjector::instance().arm("checkpoint.write", FaultKind::kFail);
+  EXPECT_THROW(atomic_write_file(dir + "/doc.json", "{}\n", "checkpoint.write"),
+               IoError);
+  // IoError is transient by the taxonomy — schedulers may retry it.
+  FaultInjector::instance().arm("checkpoint.write", FaultKind::kFail);
+  EXPECT_THROW(atomic_write_file(dir + "/doc.json", "{}\n", "checkpoint.write"),
+               TransientError);
+  // The failed write left nothing behind.
+  EXPECT_FALSE(fs::exists(dir + "/doc.json"));
+}
+
+TEST(FaultDeathTest, CrashPointExitsWithTheDedicatedCode) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault hooks are no-ops in this build";
+  }
+  EXPECT_EXIT(
+      {
+        FaultInjector::instance().arm("job.claim", FaultKind::kCrash);
+        fault_point("job.claim");
+        std::_Exit(0);  // not reached: a non-firing site fails the assertion
+      },
+      testing::ExitedWithCode(kFaultCrashExitCode), "crash at job.claim");
+}
+
+TEST(FaultDeathTest, TornWriteLeavesATruncatedFileAtTheFinalPath) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault hooks are no-ops in this build";
+  }
+  const std::string dir = temp_path("torn");
+  fs::create_directories(dir);
+  const std::string path = dir + "/doc.json";
+  EXPECT_EXIT(
+      {
+        FaultInjector::instance().arm("checkpoint.write", FaultKind::kTorn,
+                                      /*after=*/0, /*count=*/1, /*at_byte=*/5);
+        atomic_write_file(path, "0123456789", "checkpoint.write");
+        std::_Exit(0);  // not reached
+      },
+      testing::ExitedWithCode(kFaultCrashExitCode), "crash at checkpoint");
+  // The death-test child wrote the torn prefix to the FINAL path — the
+  // post-power-loss state recovery code must cope with.
+  EXPECT_EQ(slurp(path), "01234");
+}
+
+TEST(FaultDeathTest, CrashKindInAtomicWriteDiesBeforeTheRename) {
+  if (!kFaultInjectionCompiled) {
+    GTEST_SKIP() << "fault hooks are no-ops in this build";
+  }
+  const std::string dir = temp_path("crash_write");
+  fs::create_directories(dir);
+  const std::string path = dir + "/doc.json";
+  atomic_write_file(path, "old\n");
+  EXPECT_EXIT(
+      {
+        FaultInjector::instance().arm("checkpoint.write", FaultKind::kCrash);
+        atomic_write_file(path, "new\n", "checkpoint.write");
+        std::_Exit(0);  // not reached
+      },
+      testing::ExitedWithCode(kFaultCrashExitCode), "crash at checkpoint");
+  // Crash before the rename: the previous content survives intact.
+  EXPECT_EQ(slurp(path), "old\n");
+}
+
+}  // namespace
+}  // namespace rmp::core

@@ -33,6 +33,14 @@ cheapest to catch *before* running anything, by scanning the source:
                         `// lint: epoch-committed` — the annotation is a
                         claim, checked in review and by TSan, that the member
                         only changes at serial epoch barriers.
+  spool-write           Every filesystem write under src/api/ goes through
+                        core::atomic_write_file / core::rename_claim /
+                        core::append_line (src/core/fsio.hpp).  A raw
+                        ofstream/fopen/write_json_file in the API layer
+                        bypasses the fsync-and-rename durability protocol and
+                        the fault-injection sites, so a crash can leave torn
+                        spool state the recovery scan was never tested
+                        against.  Reads (ifstream) are fine.
   header-self-contained (--headers) Every .hpp under src/ compiles as its own
                         translation unit, so include order can never hide a
                         missing dependency.
@@ -89,6 +97,18 @@ WALL_CLOCK_PATTERNS = [
 ]
 
 STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+
+SPOOL_WRITE_PATTERNS = [
+    (re.compile(r"\bofstream\b"),
+     "raw ofstream in the API layer; route the write through "
+     "core::atomic_write_file / core::append_line (src/core/fsio.hpp) so it "
+     "is durable and carries a fault-injection site"),
+    (re.compile(r"(?<![\w:.>])fopen\s*\("),
+     "raw fopen in the API layer; use the core::fsio primitives"),
+    (re.compile(r"\bwrite_json_file\s*\("),
+     "write_json_file is not crash-durable (no fsync, no fault site); use "
+     "core::atomic_write_file in src/api/"),
+]
 
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;{}]*?):([^;{}]*?)\)\s*[{a-zA-Z]")
@@ -356,6 +376,8 @@ def lint_repo(repo: Path, headers: bool, cxx: str) -> list[Violation]:
         top = fl.rel.parts[1] if len(fl.rel.parts) > 1 else ""
         if top in ("numeric", "kinetics"):
             check_std_function(fl, violations)
+        if top == "api":
+            check_patterns(fl, "spool-write", SPOOL_WRITE_PATTERNS, violations)
         check_patterns(fl, "entropy", ENTROPY_PATTERNS, violations)
         check_patterns(fl, "wall-clock", WALL_CLOCK_PATTERNS, violations)
         check_unordered_iteration(fl, violations)

@@ -127,8 +127,11 @@ int resume(const std::string& checkpoint_path, const std::string& out_path) {
   }
   rmp::api::RunResult result;
   try {
-    rmp::api::Session session =
-        rmp::api::Session::resume(rmp::core::load_json_file(checkpoint_path));
+    // load_checkpoint_file maps a torn/truncated file to a named SpecError
+    // carrying the path and the parser's byte offset — never a raw
+    // JsonError (the envelope checks in Session::resume do the rest).
+    rmp::api::Session session = rmp::api::Session::resume(
+        rmp::api::load_checkpoint_file(checkpoint_path));
     std::printf("resumed at epoch %zu/%zu\n", session.epoch(),
                 session.total_epochs());
     result = session.finish();

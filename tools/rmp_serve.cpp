@@ -3,7 +3,8 @@
 // streams in <spool>/events/.
 //
 //   rmp_serve --spool DIR [--drain] [--checkpoint-every N]
-//             [--step-limit N] [--poll-ms N]
+//             [--step-limit N] [--poll-ms N] [--owner NAME]
+//             [--lease-timeout-ms N] [--max-attempts N]
 //
 //   --drain              exit once the spool is empty (batch mode) instead
 //                        of polling for new jobs forever
@@ -12,10 +13,22 @@
 //   --step-limit N       stop (draining to checkpoints) after N epochs total
 //                        across all jobs — deterministic kill for tests
 //   --poll-ms N          idle poll interval (default 200)
+//   --owner NAME         worker identity in claim files and events
+//                        ([A-Za-z0-9_-]+, default w<pid>); must be unique
+//                        among live workers on one spool
+//   --lease-timeout-ms N reclaim a foreign claim whose heartbeat is older
+//                        than N ms (default 30000; 0 = immediately)
+//   --max-attempts N     quarantine a job into failed/ after N consecutive
+//                        transient failures (default 5)
 //
-// SIGTERM/SIGINT drain gracefully: every active job is checkpointed to
-// <spool>/work/ and the process exits 0; a restarted rmp_serve resumes those
-// checkpoints bit-exactly.
+// Multiple rmp_serve processes may share one spool: admission is an atomic
+// rename-claim, so each job runs under exactly one worker, and a worker
+// that dies is detected by its stale lease and its jobs re-adopted from
+// their last committed checkpoints.
+//
+// SIGTERM/SIGINT drain gracefully: every active job is checkpointed, its
+// spec released back to <spool>/jobs/, and the process exits 0; any
+// rmp_serve on the spool re-adopts those jobs bit-exactly.
 //
 // Exit codes: 0 clean exit (drain, signal, or step limit), 1 bad usage or a
 // spool that cannot be set up.
@@ -41,12 +54,15 @@ void request_stop(int /*signum*/) {
 int usage(std::FILE* to) {
   std::fprintf(to,
                "usage: rmp_serve --spool DIR [--drain] [--checkpoint-every N]\n"
-               "                 [--step-limit N] [--poll-ms N]\n"
+               "                 [--step-limit N] [--poll-ms N] [--owner NAME]\n"
+               "                 [--lease-timeout-ms N] [--max-attempts N]\n"
                "\n"
                "Serves RunSpec JSON jobs from DIR/jobs/: results land in\n"
-               "DIR/results/, per-epoch progress in DIR/events/, checkpoints\n"
-               "in DIR/work/.  SIGTERM drains all jobs to checkpoints; a\n"
-               "restart resumes them bit-exactly.\n");
+               "DIR/results/, per-epoch progress in DIR/events/, claims and\n"
+               "checkpoints in DIR/work/.  N workers may share one spool\n"
+               "(atomic rename-claims + stale-lease reclaim).  SIGTERM\n"
+               "drains all jobs to checkpoints and releases them; any\n"
+               "worker resumes them bit-exactly.\n");
   return to == stdout ? 0 : 1;
 }
 
@@ -60,6 +76,13 @@ bool parse_count(const std::string& text, std::size_t& out) {
   } catch (const std::exception&) {
     return false;
   }
+}
+
+bool parse_ms(const std::string& text, std::int64_t& out) {
+  std::size_t parsed = 0;
+  if (!parse_count(text, parsed)) return false;
+  out = static_cast<std::int64_t>(parsed);
+  return true;
 }
 
 }  // namespace
@@ -83,6 +106,14 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--poll-ms" && has_value &&
                parse_count(args[i + 1], options.poll_ms)) {
+      ++i;
+    } else if (arg == "--owner" && has_value) {
+      options.owner = args[++i];
+    } else if (arg == "--lease-timeout-ms" && has_value &&
+               parse_ms(args[i + 1], options.lease_timeout_ms)) {
+      ++i;
+    } else if (arg == "--max-attempts" && has_value &&
+               parse_count(args[i + 1], options.max_attempts)) {
       ++i;
     } else {
       return usage(stderr);

@@ -1,0 +1,79 @@
+// rmp_trace_check — event-trace conformance checker for rmp_serve spools.
+//
+//   rmp_trace_check --spool DIR [--active-ok]
+//   rmp_trace_check --events FILE [--job ID] [--active-ok]
+//
+// Validates every events/<id>.jsonl against the spool protocol grammar
+// (api/trace.hpp) and cross-checks the terminal events against the
+// results/ and failed/ artifacts: every job ends in exactly one of the
+// two, no job completes twice, and torn lines appear only where crash
+// recovery explains them.  With --active-ok, unterminated streams and
+// live claims are legal (a spool with workers still running); the default
+// assumes a drained spool.
+//
+// Exit codes: 0 conformant, 1 violations found (one per line on stderr),
+// 2 bad usage.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/trace.hpp"
+
+namespace {
+
+int usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: rmp_trace_check --spool DIR [--active-ok]\n"
+               "       rmp_trace_check --events FILE [--job ID] [--active-ok]\n"
+               "\n"
+               "Checks rmp_serve JSONL event streams against the spool\n"
+               "protocol grammar and the results/failed artifacts.\n");
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::string spool;
+  std::string events;
+  std::string job;
+  bool active_ok = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--active-ok") {
+      active_ok = true;
+    } else if (arg == "--spool" && has_value) {
+      spool = args[++i];
+    } else if (arg == "--events" && has_value) {
+      events = args[++i];
+    } else if (arg == "--job" && has_value) {
+      job = args[++i];
+    } else {
+      return usage(stderr);
+    }
+  }
+  if (spool.empty() == events.empty()) return usage(stderr);  // exactly one
+
+  const std::vector<rmp::api::TraceIssue> issues =
+      spool.empty()
+          ? rmp::api::verify_event_stream(events, job, !active_ok)
+          : rmp::api::verify_spool_traces(spool, !active_ok);
+
+  for (const rmp::api::TraceIssue& issue : issues) {
+    if (issue.line > 0) {
+      std::fprintf(stderr, "%s:%zu: %s\n", issue.job.c_str(), issue.line,
+                   issue.what.c_str());
+    } else {
+      std::fprintf(stderr, "%s: %s\n", issue.job.c_str(), issue.what.c_str());
+    }
+  }
+  if (issues.empty()) {
+    std::printf("ok: traces conform to the spool protocol\n");
+    return 0;
+  }
+  std::fprintf(stderr, "%zu violation(s)\n", issues.size());
+  return 1;
+}
